@@ -1,0 +1,48 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark reproduces one table or figure from the paper's Section 4
+and emits the regenerated rows/series both to stdout and to a text file
+under ``benchmarks/results/`` so runs can be diffed against
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print an experiment's regenerated table and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"=== {name} ==="
+    print(f"\n{banner}\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Plain-text aligned table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rendered)
+    return lines
+
+
+def timed(func, repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for a callable."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,113 @@
+"""Paper Figure 17 — Relative improvement in execution time when partition
+selection is enabled.
+
+The whole workload runs in Orca twice — partition selection enabled vs
+disabled, everything else identical — and the per-query improvement is
+reported as a percentage of the disabled runtime (50% = ran in half the
+time), with queries grouped by their disabled runtime into short / medium /
+long blocks like the paper's x-axis.
+
+The paper's shape: improvements across the board, more than half the
+queries above 50%, over a quarter above 70%, with a few outliers.  Wall
+clocks in a Python simulator are noisy, so the assertions also lean on the
+deterministic rows-scanned reduction that drives the speedup.
+"""
+
+from __future__ import annotations
+
+
+def test_fig17_selection_speedup(benchmark, workload_run):
+    benchmark.pedantic(_report, args=(workload_run,), rounds=1, iterations=1)
+
+
+def _report(workload_run):
+    from ._helpers import emit, format_table
+
+    measurements = []
+    for query in workload_run.queries:
+        entry = workload_run.measurements[query.name]
+        enabled = entry["orca"]
+        disabled = entry["orca_no_selection"]
+        time_improvement = (
+            (disabled["elapsed"] - enabled["elapsed"])
+            / disabled["elapsed"]
+            * 100
+            if disabled["elapsed"]
+            else 0.0
+        )
+        rows_improvement = (
+            (disabled["rows_scanned"] - enabled["rows_scanned"])
+            / disabled["rows_scanned"]
+            * 100
+            if disabled["rows_scanned"]
+            else 0.0
+        )
+        measurements.append(
+            {
+                "name": query.name,
+                "kind": query.kind,
+                "disabled_s": disabled["elapsed"],
+                "time_improvement": time_improvement,
+                "rows_improvement": rows_improvement,
+            }
+        )
+
+    # Group by disabled runtime, mirroring the paper's query blocks.
+    measurements.sort(key=lambda m: m["disabled_s"])
+    third = max(1, len(measurements) // 3)
+    for index, m in enumerate(measurements):
+        if index < third:
+            m["block"] = "short-running"
+        elif index < 2 * third:
+            m["block"] = "medium"
+        else:
+            m["block"] = "long-running"
+
+    rows = [
+        [
+            m["name"],
+            m["block"],
+            m["kind"],
+            f"{m['disabled_s'] * 1000:.1f} ms",
+            f"{m['time_improvement']:+.0f}%",
+            f"{m['rows_improvement']:+.0f}%",
+        ]
+        for m in measurements
+    ]
+    emit(
+        "fig17_selection_speedup",
+        format_table(
+            [
+                "query",
+                "block",
+                "kind",
+                "time w/o selection",
+                "time improvement",
+                "rows-scanned improvement",
+            ],
+            rows,
+        ),
+    )
+
+    eliminating = [
+        m for m in measurements if m["kind"] in ("static", "dynamic")
+    ]
+    # Every eliminating query scans fewer rows with selection on.
+    assert all(m["rows_improvement"] > 0 for m in eliminating)
+    # Paper: "more than half of the queries improved above 50%" — we assert
+    # it on the deterministic rows-scanned metric.
+    above_50 = sum(1 for m in eliminating if m["rows_improvement"] > 50)
+    assert above_50 / len(eliminating) > 0.5
+    above_70 = sum(1 for m in eliminating if m["rows_improvement"] > 70)
+    assert above_70 / len(eliminating) > 0.25
+    # Wall-clock direction: eliminating queries are faster in aggregate.
+    total_enabled = sum(
+        workload_run.measurements[m["name"]]["orca"]["elapsed"]
+        for m in eliminating
+    )
+    total_disabled = sum(
+        workload_run.measurements[m["name"]]["orca_no_selection"]["elapsed"]
+        for m in eliminating
+    )
+    # (5% tolerance: per-query wall clocks are milliseconds in the simulator)
+    assert total_enabled < total_disabled * 1.05

@@ -1,0 +1,67 @@
+"""Paper Figure 18(a) — Plan size, static partition elimination.
+
+``SELECT * FROM lineitem WHERE l_shipdate < X`` with X chosen to select
+1% / 25% / 50% / 75% / 100% of the partitions.  Planner plan size grows
+linearly with the number of partitions selected (they are listed in the
+plan); Orca's stays constant.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpch import build_lineitem_database, shipdate_for_fraction
+
+from ._helpers import emit, format_table
+
+PARTS = 84  # monthly scenario
+FRACTIONS = (0.01, 0.25, 0.50, 0.75, 1.00)
+
+
+def test_fig18a_plan_sizes(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    db = build_lineitem_database(PARTS, row_count=400, num_segments=2)
+    rows = []
+    planner_sizes, orca_sizes = [], []
+    for fraction in FRACTIONS:
+        cutoff = shipdate_for_fraction(fraction)
+        sql = f"SELECT * FROM lineitem WHERE l_shipdate < '{cutoff.isoformat()}'"
+        planner_plan = db.plan(sql, optimizer="planner")
+        orca_plan = db.plan(sql)
+        selected = sum(
+            1
+            for op in planner_plan.walk()
+            if type(op).__name__ == "LeafScan"
+        )
+        planner_sizes.append(planner_plan.size_bytes())
+        orca_sizes.append(orca_plan.size_bytes())
+        rows.append(
+            [
+                f"{fraction * 100:.0f}%",
+                selected,
+                planner_plan.size_bytes(),
+                orca_plan.size_bytes(),
+                orca_plan.dispatched_size_bytes(),
+            ]
+        )
+    emit(
+        "fig18a_static_plan_size",
+        format_table(
+            [
+                "% partitions",
+                "#leaves listed",
+                "planner bytes",
+                "orca bytes",
+                "orca dispatched bytes",
+            ],
+            rows,
+        ),
+    )
+
+    # Planner grows roughly linearly: 100% plan is many times the 1% plan.
+    assert planner_sizes[-1] / planner_sizes[0] > 10
+    # Orca's plan is constant across selected fractions.
+    assert max(orca_sizes) == min(orca_sizes)
+    # And at full selection Planner's plan dwarfs Orca's.
+    assert planner_sizes[-1] > 5 * orca_sizes[-1]

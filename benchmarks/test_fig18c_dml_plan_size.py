@@ -1,0 +1,63 @@
+"""Paper Figure 18(c) — Plan size, DML over partitioned tables.
+
+``UPDATE R SET b = S.b FROM S WHERE R.a = S.a`` with both tables
+partitioned.  The Planner enumerates every join combination between the
+individual partitions — **quadratic** plan growth — while Orca's plan
+stays flat (one DynamicScan-based join feeding the Update).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import UPDATE_QUERY, build_rs_database
+
+from ._helpers import emit, format_table
+
+PART_COUNTS = (10, 20, 30, 40, 50)
+
+
+def test_fig18c_plan_sizes(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    rows = []
+    planner_sizes, orca_sizes = [], []
+    for parts in PART_COUNTS:
+        db = build_rs_database(num_parts=parts, rows_per_table=100)
+        planner_plan = db.plan(UPDATE_QUERY, optimizer="planner")
+        orca_plan = db.plan(UPDATE_QUERY)
+        joins = sum(
+            1
+            for op in planner_plan.walk()
+            if type(op).__name__ in ("HashJoin", "NLJoin")
+        )
+        planner_sizes.append(planner_plan.size_bytes())
+        orca_sizes.append(orca_plan.size_bytes())
+        rows.append(
+            [
+                parts,
+                joins,
+                planner_plan.size_bytes(),
+                orca_plan.size_bytes(),
+            ]
+        )
+    emit(
+        "fig18c_dml_plan_size",
+        format_table(
+            [
+                "#partitions per table",
+                "planner pairwise joins",
+                "planner bytes",
+                "orca bytes",
+            ],
+            rows,
+        ),
+    )
+
+    # Quadratic: 5x partitions -> ~25x plan size for the Planner.
+    growth = planner_sizes[-1] / planner_sizes[0]
+    assert growth > 15, f"expected quadratic growth, got {growth:.1f}x"
+    # Superlinear check: growth clearly exceeds the 5x linear factor.
+    assert growth > 2 * (PART_COUNTS[-1] / PART_COUNTS[0])
+    # Orca stays flat.
+    assert max(orca_sizes) == min(orca_sizes)

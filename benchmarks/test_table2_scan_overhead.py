@@ -1,0 +1,84 @@
+"""Paper Table 2 — Overhead of Partitioning.
+
+``SELECT * FROM lineitem`` over 7 years of data, partitioned per the
+paper's four scenarios (42 / 84 / 169 / 361 parts), compared with an
+unpartitioned baseline.  The paper reports 1-3% overhead, stable across
+partition counts; the claim reproduced here is that overhead stays small
+and does **not** grow with the number of partitions (per-row scan work
+dominates per-partition open overhead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.tpch import TABLE2_SCENARIOS, build_lineitem_database
+
+from ._helpers import emit, format_table, timed
+
+ROW_COUNT = 4000
+SEGMENTS = 2
+QUERY = "SELECT * FROM lineitem"
+
+_scenarios = [None] + sorted(TABLE2_SCENARIOS)
+
+
+def _run_full_scan(db, plan):
+    result = db.execute_plan(plan)
+    assert len(result.rows) == ROW_COUNT
+    return result
+
+
+@pytest.fixture(scope="module")
+def databases():
+    built = {}
+    for parts in _scenarios:
+        built[parts] = build_lineitem_database(
+            parts, row_count=ROW_COUNT, num_segments=SEGMENTS
+        )
+    return built
+
+
+@pytest.mark.parametrize("parts", _scenarios, ids=lambda p: f"parts={p or 0}")
+def test_full_scan(benchmark, databases, parts):
+    db = databases[parts]
+    plan = db.plan(QUERY)
+    benchmark.pedantic(
+        _run_full_scan, args=(db, plan), rounds=3, iterations=1
+    )
+
+
+def test_report_table2(benchmark, databases):
+    """Regenerate the Table 2 rows: per-scenario overhead vs baseline."""
+    benchmark.pedantic(_report_table2, args=(databases,), rounds=1, iterations=1)
+
+
+def _report_table2(databases):
+    timings = {}
+    for parts, db in databases.items():
+        plan = db.plan(QUERY)
+        timings[parts] = timed(lambda d=db, p=plan: _run_full_scan(d, p))
+    baseline = timings[None]
+    rows = []
+    for parts in sorted(TABLE2_SCENARIOS):
+        overhead = (timings[parts] - baseline) / baseline * 100
+        rows.append(
+            [
+                parts,
+                TABLE2_SCENARIOS[parts],
+                f"{timings[parts] * 1000:.1f} ms",
+                f"{overhead:+.0f}%",
+            ]
+        )
+    rows.append(
+        [0, "unpartitioned baseline", f"{baseline * 1000:.1f} ms", "-"]
+    )
+    emit(
+        "table2_scan_overhead",
+        format_table(["#parts", "Description", "best time", "Overhead"], rows),
+    )
+    # Paper claim: overhead small and stable; allow generous simulator slack.
+    worst = max(
+        (timings[p] - baseline) / baseline for p in TABLE2_SCENARIOS
+    )
+    assert worst < 0.60, "partitioned full scan overhead exploded"

@@ -1,0 +1,80 @@
+"""Paper Table 3 — Workload classification.
+
+Every workload query runs under Orca and under the legacy Planner; queries
+are bucketed by who eliminated more partitions of the query's fact table.
+The paper reports (for real TPC-DS): 11% Orca-only elimination, 3% Orca
+more, 80% equal, 3% Orca fewer, 3% Planner-only.  The *shape* to reproduce:
+a large "equal" bucket (static elimination is symmetric) plus a meaningful
+slice where only Orca eliminates (the dynamic-elimination queries), and no
+bucket where the Planner wins on our workload.
+"""
+
+from __future__ import annotations
+
+CATEGORIES = [
+    "Orca eliminates parts, Planner does not",
+    "Orca eliminates more parts than Planner",
+    "Orca and Planner eliminate parts equally",
+    "Orca eliminates fewer parts than Planner",
+    "Orca does not eliminate parts, Planner does",
+]
+
+
+def classify(total: int, orca: int, planner: int) -> str:
+    orca_eliminates = orca < total
+    planner_eliminates = planner < total
+    if orca_eliminates and not planner_eliminates:
+        return CATEGORIES[0]
+    if orca < planner:
+        return CATEGORIES[1]
+    if orca == planner:
+        return CATEGORIES[2]
+    if planner_eliminates and not orca_eliminates:
+        return CATEGORIES[4]
+    return CATEGORIES[3]
+
+
+def test_table3_classification(benchmark, workload_run):
+    benchmark.pedantic(
+        _report, args=(workload_run,), rounds=1, iterations=1
+    )
+
+
+def _report(workload_run):
+    from repro.workloads.tpcds import FACT_PARTITIONS
+
+    from ._helpers import emit, format_table
+
+    counts = {category: 0 for category in CATEGORIES}
+    per_query = []
+    for query in workload_run.queries:
+        entry = workload_run.measurements[query.name]
+        orca = entry["orca"]["partitions"]
+        planner = entry["planner"]["partitions"]
+        category = classify(FACT_PARTITIONS, orca, planner)
+        counts[category] += 1
+        per_query.append([query.name, query.kind, orca, planner, category])
+
+    total = len(workload_run.queries)
+    rows = [
+        [category, f"{counts[category] / total * 100:.0f}%", counts[category]]
+        for category in CATEGORIES
+    ]
+    lines = format_table(["Category", "Percentage", "#queries"], rows)
+    lines.append("")
+    lines.extend(
+        format_table(
+            ["query", "kind", "orca parts", "planner parts", "category"],
+            per_query,
+        )
+    )
+    emit("table3_workload_classification", lines)
+
+    # Shape assertions mirroring the paper's findings.
+    equal_share = counts[CATEGORIES[2]] / total
+    orca_only_share = (
+        counts[CATEGORIES[0]] + counts[CATEGORIES[1]]
+    ) / total
+    assert equal_share >= 0.5, "static elimination should dominate"
+    assert orca_only_share >= 0.1, "dynamic elimination should appear"
+    assert counts[CATEGORIES[4]] == 0, "Planner must never beat Orca here"

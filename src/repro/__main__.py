@@ -1,0 +1,5 @@
+"""``python -m repro`` entry point: the interactive shell."""
+
+from .cli import main
+
+main()

@@ -1,0 +1,39 @@
+"""Catalog layer: schemas, partition model, table registry.
+
+The partition model implements the paper's Section 2.1 functions ``f_T``
+(tuple routing) and ``f*_T`` (partition selection) over single- and
+multi-level schemes, with constraints in the ``pk ∈ ∪(a, b)`` interval form
+of Section 3.2.
+"""
+
+from .catalog import Catalog, DistributionPolicy, TableDescriptor
+from .constraints import Interval, IntervalSet
+from .partition import (
+    LeafId,
+    PartitionLevel,
+    PartitionScheme,
+    PartitionSlot,
+    list_level,
+    monthly_range_level,
+    range_level,
+    uniform_int_level,
+)
+from .schema import Column, TableSchema
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DistributionPolicy",
+    "Interval",
+    "IntervalSet",
+    "LeafId",
+    "PartitionLevel",
+    "PartitionScheme",
+    "PartitionSlot",
+    "TableDescriptor",
+    "TableSchema",
+    "list_level",
+    "monthly_range_level",
+    "range_level",
+    "uniform_int_level",
+]

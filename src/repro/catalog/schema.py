@@ -1,0 +1,91 @@
+"""Table schemas: ordered, typed columns.
+
+A :class:`TableSchema` is shared by the catalog, the binder (name
+resolution) and the storage layer (tuple validation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from ..errors import CatalogError
+from ..types import DataType
+
+
+class Column:
+    """A named, typed column."""
+
+    __slots__ = ("name", "data_type")
+
+    def __init__(self, name: str, data_type: DataType):
+        self.name = name
+        self.data_type = data_type
+
+    def __repr__(self) -> str:
+        return f"Column({self.name}: {self.data_type})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self.data_type is other.data_type
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.data_type.kind))
+
+
+class TableSchema:
+    """An ordered list of uniquely named columns."""
+
+    def __init__(self, columns: Sequence[Column]):
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise CatalogError(f"duplicate column name(s): {', '.join(dupes)}")
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    @staticmethod
+    def of(*pairs: tuple[str, DataType]) -> "TableSchema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return TableSchema([Column(name, dt) for name, dt in pairs])
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def validate_row(self, row: Sequence[Any]) -> tuple:
+        """Type-check and coerce a row, returning it as a tuple."""
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                f"row has {len(row)} values, schema has {len(self.columns)} columns"
+            )
+        return tuple(
+            col.data_type.validate(value) for col, value in zip(self.columns, row)
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.data_type}" for c in self.columns)
+        return f"TableSchema({cols})"

@@ -1,0 +1,262 @@
+"""Interactive shell for the repro engine.
+
+Run with ``python -m repro``.  Provides a psql-flavoured REPL over an
+in-memory :class:`~repro.engine.Database`:
+
+.. code-block:: text
+
+    repro=# \\demo                     -- load the paper's orders demo
+    repro=# SELECT avg(amount) FROM orders
+            WHERE date BETWEEN '10-01-2013' AND '12-31-2013';
+    repro=# \\explain SELECT ...       -- show the physical plan
+    repro=# \\optimizer planner        -- switch to the legacy baseline
+    repro=# \\d                        -- list tables
+    repro=# \\q
+
+The :class:`ReplSession` class holds all the logic and returns plain
+strings, so it is unit-testable without a terminal.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from .engine import ORCA, PLANNER, Database
+from .errors import ReproError
+
+PROMPT = "repro=# "
+CONTINUATION = "repro-# "
+
+_HELP = """\
+Meta commands:
+  \\d                 list tables (name, rows, partitions, distribution)
+  \\d NAME            describe one table
+  \\demo              load the demo schema (paper Figures 1-4)
+  \\explain SQL       show the physical plan for SQL
+  \\optimizer [NAME]  show or switch the optimizer (orca | planner)
+  \\timing            toggle per-query timing output
+  \\help              this text
+  \\q                 quit
+Everything else is executed as SQL (end with ';' or a blank line)."""
+
+
+class ReplSession:
+    """State and command handling for one interactive session."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db or Database(num_segments=4)
+        self.optimizer = ORCA
+        self.timing = False
+        self.done = False
+        self._buffer: list[str] = []
+
+    # -- line protocol -----------------------------------------------------
+
+    @property
+    def prompt(self) -> str:
+        return CONTINUATION if self._buffer else PROMPT
+
+    def handle_line(self, line: str) -> str:
+        """Process one input line; returns text to display (may be '')."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            return self._meta(stripped)
+        if not stripped and not self._buffer:
+            return ""
+        self._buffer.append(line)
+        text = "\n".join(self._buffer).strip()
+        if text.endswith(";") or not stripped:
+            self._buffer.clear()
+            return self._run_sql(text.rstrip(";"))
+        return ""
+
+    # -- meta commands ---------------------------------------------------------
+
+    def _meta(self, command: str) -> str:
+        name, _, argument = command.partition(" ")
+        argument = argument.strip()
+        if name in ("\\q", "\\quit"):
+            self.done = True
+            return "bye"
+        if name in ("\\help", "\\?"):
+            return _HELP
+        if name == "\\d":
+            return self._describe(argument)
+        if name == "\\demo":
+            return self._load_demo()
+        if name == "\\explain":
+            return self._explain(argument)
+        if name == "\\optimizer":
+            if argument:
+                if argument not in (ORCA, PLANNER):
+                    return f"unknown optimizer {argument!r} (orca | planner)"
+                self.optimizer = argument
+            return f"optimizer: {self.optimizer}"
+        if name == "\\timing":
+            self.timing = not self.timing
+            return f"timing is {'on' if self.timing else 'off'}"
+        return f"unknown command {name!r}; try \\help"
+
+    def _describe(self, name: str) -> str:
+        if name:
+            try:
+                table = self.db.catalog.table(name)
+            except ReproError as exc:
+                return str(exc)
+            lines = [f"Table {table.name} (oid {table.oid})"]
+            for column in table.schema:
+                lines.append(f"  {column.name:<20} {column.data_type}")
+            lines.append(f"  distribution: {table.distribution!r}")
+            if table.is_partitioned:
+                scheme = table.partition_scheme
+                lines.append(
+                    f"  partitioned: {scheme!r} ({table.num_leaves} leaves)"
+                )
+            return "\n".join(lines)
+        tables = list(self.db.catalog.tables())
+        if not tables:
+            return "no tables (try \\demo)"
+        lines = ["tables:"]
+        for table in tables:
+            stats = self.db.stats.get(table)
+            parts = f", {table.num_leaves} parts" if table.is_partitioned else ""
+            lines.append(
+                f"  {table.name:<20} ~{stats.row_count} rows{parts}"
+            )
+        return "\n".join(lines)
+
+    def _explain(self, sql: str) -> str:
+        if not sql:
+            return "usage: \\explain SELECT ..."
+        try:
+            return self.db.explain(sql.rstrip(";"), optimizer=self.optimizer)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _run_sql(self, sql: str) -> str:
+        if not sql:
+            return ""
+        try:
+            result = self.db.sql(sql, optimizer=self.optimizer)
+        except ReproError as exc:
+            return f"error: {exc}"
+        lines = []
+        if result.column_names:
+            lines.append(" | ".join(result.column_names))
+        for row in result.rows[:50]:
+            lines.append(" | ".join(_render(value) for value in row))
+        if len(result.rows) > 50:
+            lines.append(f"... ({len(result.rows)} rows total)")
+        else:
+            lines.append(f"({len(result.rows)} rows)")
+        scanned = result.tracker.total_partitions_scanned()
+        if scanned:
+            lines.append(f"partitions scanned: {scanned}")
+        if self.timing:
+            lines.append(f"time: {result.elapsed_seconds * 1000:.2f} ms")
+        return "\n".join(lines)
+
+    def _load_demo(self) -> str:
+        from .catalog import (
+            DistributionPolicy,
+            PartitionScheme,
+            TableSchema,
+            monthly_range_level,
+            uniform_int_level,
+        )
+        from . import types as t
+
+        if self.db.catalog.has_table("orders"):
+            return "demo already loaded"
+        self.db.create_table(
+            "orders",
+            TableSchema.of(
+                ("order_id", t.INT), ("amount", t.FLOAT), ("date", t.DATE)
+            ),
+            distribution=DistributionPolicy.hashed("order_id"),
+            partition_scheme=PartitionScheme(
+                [monthly_range_level("date", datetime.date(2012, 1, 1), 24)]
+            ),
+        )
+        self.db.create_table(
+            "date_dim",
+            TableSchema.of(
+                ("date_id", t.INT), ("year", t.INT), ("month", t.INT)
+            ),
+            distribution=DistributionPolicy.hashed("date_id"),
+        )
+        self.db.create_table(
+            "orders_fk",
+            TableSchema.of(
+                ("order_id", t.INT), ("amount", t.FLOAT), ("date_id", t.INT)
+            ),
+            distribution=DistributionPolicy.hashed("order_id"),
+            partition_scheme=PartitionScheme(
+                [uniform_int_level("date_id", 0, 730, 24)]
+            ),
+        )
+        rng = random.Random(2014)
+        start = datetime.date(2012, 1, 1)
+        self.db.insert(
+            "orders",
+            (
+                (
+                    i,
+                    round(rng.uniform(5, 500), 2),
+                    start + datetime.timedelta(days=rng.randrange(730)),
+                )
+                for i in range(5000)
+            ),
+        )
+        self.db.insert(
+            "date_dim",
+            (
+                (
+                    offset,
+                    (start + datetime.timedelta(days=offset)).year,
+                    (start + datetime.timedelta(days=offset)).month,
+                )
+                for offset in range(730)
+            ),
+        )
+        self.db.insert(
+            "orders_fk",
+            (
+                (i, round(rng.uniform(5, 500), 2), rng.randrange(730))
+                for i in range(5000)
+            ),
+        )
+        self.db.analyze()
+        return (
+            "loaded: orders (24 monthly parts), orders_fk (24 parts on "
+            "date_id), date_dim — try:\n"
+            "  SELECT avg(amount) FROM orders WHERE date BETWEEN "
+            "'10-01-2013' AND '12-31-2013';"
+        )
+
+
+def _render(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def main() -> None:  # pragma: no cover - interactive loop
+    session = ReplSession()
+    print("repro shell — \\help for commands, \\demo for sample data")
+    while not session.done:
+        try:
+            line = input(session.prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = session.handle_line(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,191 @@
+"""The public engine facade.
+
+:class:`Database` wires together catalog, storage, statistics, the SQL
+front end, both optimizers (Orca-style and the legacy Planner baseline)
+and the MPP executor:
+
+.. code-block:: python
+
+    from repro import Database
+
+    db = Database(num_segments=4)
+    db.create_table(...)            # programmatic DDL (partitioning et al.)
+    db.sql("INSERT INTO t VALUES (1, 'x')")
+    db.analyze()                    # collect optimizer statistics
+    result = db.sql("SELECT * FROM t WHERE pk < 10")
+    print(db.explain("SELECT ...", optimizer="planner"))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .catalog import (
+    Catalog,
+    DistributionPolicy,
+    PartitionScheme,
+    TableDescriptor,
+    TableSchema,
+)
+from .errors import ReproError
+from .executor.executor import ExecutionResult, MppExecutor
+from .logical.ops import LogicalOp
+from .optimizer.cost import CostModel
+from .optimizer.orca import OrcaOptimizer
+from .optimizer.planner import PlannerOptimizer
+from .optimizer.stats import StatsRegistry
+from .physical.plan import Plan
+from .sql.ast import InsertStmt
+from .sql.binder import Binder
+from .sql.parser import parse
+
+ORCA = "orca"
+PLANNER = "planner"
+
+
+class Database:
+    """One in-process MPP database instance."""
+
+    def __init__(
+        self,
+        num_segments: int = 4,
+        cost_model: CostModel | None = None,
+    ):
+        from .storage import StorageManager
+
+        self.num_segments = num_segments
+        self.catalog = Catalog()
+        self.storage = StorageManager(self.catalog, num_segments)
+        self.stats = StatsRegistry()
+        self.cost_model = cost_model or CostModel()
+        self.binder = Binder(self.catalog)
+        self.executor = MppExecutor(self.catalog, self.storage, num_segments)
+
+    # -- DDL / data -----------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        distribution: DistributionPolicy | None = None,
+        partition_scheme: PartitionScheme | None = None,
+    ) -> TableDescriptor:
+        descriptor = self.catalog.create_table(
+            name, schema, distribution, partition_scheme
+        )
+        self.storage.register(descriptor)
+        return descriptor
+
+    def drop_table(self, name: str) -> None:
+        descriptor = self.catalog.table(name)
+        self.storage.unregister(descriptor)
+        self.catalog.drop_table(name)
+
+    def insert(self, table: str, rows) -> int:
+        """Bulk-load rows (faster than SQL INSERT for generators)."""
+        return self.storage.store_by_name(table).insert_many(rows)
+
+    def analyze(self, table: str | None = None) -> None:
+        """Collect statistics (ANALYZE) for one or all tables."""
+        if table is not None:
+            self.stats.analyze(self.storage.store_by_name(table))
+            return
+        for descriptor in self.catalog.tables():
+            self.stats.analyze(self.storage.store(descriptor.oid))
+
+    # -- optimizers ---------------------------------------------------------------
+
+    def make_optimizer(
+        self,
+        optimizer: str = ORCA,
+        **options,
+    ):
+        """Build an optimizer instance; ``options`` forward to its
+        constructor (e.g. ``enable_partition_elimination=False``)."""
+        if optimizer == ORCA:
+            return OrcaOptimizer(
+                self.catalog,
+                self.stats,
+                cost_model=self.cost_model,
+                num_segments=self.num_segments,
+                **options,
+            )
+        if optimizer == PLANNER:
+            return PlannerOptimizer(
+                self.catalog,
+                self.stats,
+                num_segments=self.num_segments,
+                **options,
+            )
+        raise ReproError(f"unknown optimizer {optimizer!r}")
+
+    def bind(self, query: str) -> LogicalOp:
+        statement = parse(query)
+        if isinstance(statement, InsertStmt):
+            raise ReproError("INSERT statements are executed, not planned")
+        return self.binder.bind(statement)
+
+    def plan(
+        self,
+        query: str,
+        optimizer: str = ORCA,
+        parameter_count: int = 0,
+        **options,
+    ) -> Plan:
+        """Parse, bind and optimize a query into a physical plan."""
+        logical = self.bind(query)
+        engine = self.make_optimizer(optimizer, **options)
+        return engine.optimize(logical, parameter_count)
+
+    def explain(self, query: str, optimizer: str = ORCA, **options) -> str:
+        return self.plan(query, optimizer, **options).explain()
+
+    # -- execution ---------------------------------------------------------------------
+
+    def sql(
+        self,
+        query: str,
+        optimizer: str = ORCA,
+        params: Sequence[Any] | None = None,
+        **options,
+    ) -> ExecutionResult:
+        """Parse, plan and execute one statement."""
+        statement = parse(query)
+        if isinstance(statement, InsertStmt):
+            from .executor.context import ScanTracker
+
+            if statement.select is not None:
+                # INSERT ... SELECT: plan and run the query, then load its
+                # rows (schema-validated and re-routed through f_T).
+                target = self.catalog.table(statement.table.name)
+                logical = self.binder.bind_select(statement.select)
+                engine = self.make_optimizer(optimizer, **options)
+                plan = engine.optimize(logical, len(params) if params else 0)
+                if len(plan.root.output_layout()) != len(target.schema):
+                    raise ReproError(
+                        f"INSERT INTO {target.name}: SELECT produces "
+                        f"{len(plan.root.output_layout())} columns, table "
+                        f"has {len(target.schema)}"
+                    )
+                selected = self.executor.execute(plan, params)
+                count = self.insert(target.name, selected.rows)
+                return ExecutionResult(
+                    [(count,)],
+                    ["inserted"],
+                    selected.tracker,
+                    selected.elapsed_seconds,
+                )
+            table, rows = self.binder.bind_insert_rows(statement)
+            count = self.insert(table, rows)
+            return ExecutionResult(
+                [(count,)], ["inserted"], ScanTracker(), 0.0
+            )
+        logical = self.binder.bind(statement)
+        engine = self.make_optimizer(optimizer, **options)
+        plan = engine.optimize(logical, len(params) if params else 0)
+        return self.executor.execute(plan, params)
+
+    def execute_plan(
+        self, plan: Plan, params: Sequence[Any] | None = None
+    ) -> ExecutionResult:
+        return self.executor.execute(plan, params)

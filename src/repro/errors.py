@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch engine failures without catching unrelated bugs.  The
+sub-hierarchy mirrors the pipeline stages: catalog/DDL, SQL front end,
+binding, optimization, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class CatalogError(ReproError):
+    """Errors in DDL or catalog lookups (unknown table, duplicate name...)."""
+
+
+class PartitionError(CatalogError):
+    """Errors in partition definitions or routing (overlapping ranges,
+    tuple routed to the invalid partition on insert, unknown OID)."""
+
+
+class SqlError(ReproError):
+    """Lexing or parsing failure.  Carries the offending position."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """Name-resolution failure (unknown column, ambiguous reference...)."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for a valid logical tree."""
+
+
+class InvalidPlanError(ReproError):
+    """A physical plan violates a structural invariant, e.g. a Motion
+    between a PartitionSelector and its DynamicScan (paper Figure 12)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class ChannelError(ExecutionError):
+    """Misuse of a partition-OID channel, e.g. a DynamicScan consuming
+    before all registered PartitionSelector producers have finished."""

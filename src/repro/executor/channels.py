@@ -1,0 +1,88 @@
+"""Partition-OID channels: the producer/consumer shared memory of
+Section 2.2.
+
+A PartitionSelector pushes the OIDs of partitions that must be scanned into
+the channel identified by its ``partScanId``; the DynamicScan with the same
+id consumes them.  Channels are **segment-local** (keyed by
+``(part_scan_id, segment)``) — in a real MPP system the pair communicates
+through process-local shared memory, which is why no Motion may separate
+them (Section 3.1).
+
+The channel enforces the producer-before-consumer protocol: consuming
+before the producer has closed the channel raises :class:`ChannelError`,
+as does producing after close.
+"""
+
+from __future__ import annotations
+
+from ..errors import ChannelError
+
+
+class OidChannel:
+    """One (part_scan_id, segment) channel."""
+
+    __slots__ = ("part_scan_id", "segment", "_oids", "_closed")
+
+    def __init__(self, part_scan_id: int, segment: int):
+        self.part_scan_id = part_scan_id
+        self.segment = segment
+        self._oids: set[int] = set()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def push(self, oid: int) -> None:
+        """partition_propagation: add one partition OID."""
+        if self._closed:
+            raise ChannelError(
+                f"push to closed channel (scan {self.part_scan_id}, "
+                f"segment {self.segment})"
+            )
+        self._oids.add(oid)
+
+    def push_all(self, oids) -> None:
+        for oid in oids:
+            self.push(oid)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def consume(self) -> list[int]:
+        """OIDs for the DynamicScan, in deterministic order.
+
+        Raises :class:`ChannelError` when the producer has not finished —
+        the execution-order invariant the plan validator guarantees.
+        """
+        if not self._closed:
+            raise ChannelError(
+                f"DynamicScan {self.part_scan_id} on segment {self.segment} "
+                f"consumed before its PartitionSelector finished"
+            )
+        return sorted(self._oids)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"OidChannel(scan={self.part_scan_id}, seg={self.segment}, "
+            f"{len(self._oids)} oids, {state})"
+        )
+
+
+class ChannelRegistry:
+    """All channels of one query execution."""
+
+    def __init__(self) -> None:
+        self._channels: dict[tuple[int, int], OidChannel] = {}
+
+    def channel(self, part_scan_id: int, segment: int) -> OidChannel:
+        key = (part_scan_id, segment)
+        found = self._channels.get(key)
+        if found is None:
+            found = OidChannel(part_scan_id, segment)
+            self._channels[key] = found
+        return found
+
+    def channels(self) -> list[OidChannel]:
+        return list(self._channels.values())

@@ -1,0 +1,75 @@
+"""Execution context: everything one query run needs.
+
+The MPP simulator's conventions:
+
+* Segments are numbered ``0 .. num_segments-1``; **segment 0 doubles as the
+  coordinator** — GatherMotion routes all rows there, and
+  coordinator-only operators (scalar aggregation over a gathered stream,
+  Update's count row) emit on segment 0 only.
+* Motion outputs are materialized into per-segment buffers before the
+  consuming slice runs (slice-at-a-time execution).
+* Partition-OID channels are per (part scan id, segment).
+* The context records which leaf partitions every scan touched — the
+  measurement behind the paper's Figure 16 and Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..catalog import Catalog
+from ..storage import StorageManager
+from .channels import ChannelRegistry, OidChannel
+
+COORDINATOR_SEGMENT = 0
+
+
+class ScanTracker:
+    """Per-query record of partitions and rows touched by scans."""
+
+    def __init__(self) -> None:
+        #: table name -> set of leaf OIDs actually scanned
+        self.partitions: dict[str, set[int]] = {}
+        self.rows_scanned = 0
+
+    def record_leaf(self, table_name: str, leaf_oid: int) -> None:
+        self.partitions.setdefault(table_name, set()).add(leaf_oid)
+
+    def record_rows(self, count: int) -> None:
+        self.rows_scanned += count
+
+    def partitions_scanned(self, table_name: str) -> int:
+        return len(self.partitions.get(table_name, ()))
+
+    def total_partitions_scanned(self) -> int:
+        return sum(len(oids) for oids in self.partitions.values())
+
+
+class ExecContext:
+    """State shared by all iterators of one query execution."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        storage: StorageManager,
+        num_segments: int,
+        params: Sequence[Any] | None = None,
+    ):
+        self.catalog = catalog
+        self.storage = storage
+        self.num_segments = num_segments
+        self.params = list(params) if params is not None else []
+        self.channels = ChannelRegistry()
+        #: id(motion op) -> list per segment of buffered rows
+        self.motion_buffers: dict[int, list[list[tuple]]] = {}
+        self.tracker = ScanTracker()
+
+    def channel(self, part_scan_id: int, segment: int) -> OidChannel:
+        return self.channels.channel(part_scan_id, segment)
+
+    def motion_buffer(self, motion_id: int) -> list[list[tuple]]:
+        buffer = self.motion_buffers.get(motion_id)
+        if buffer is None:
+            buffer = [[] for _ in range(self.num_segments)]
+            self.motion_buffers[motion_id] = buffer
+        return buffer

@@ -1,0 +1,723 @@
+"""Volcano-style iterators for every physical operator.
+
+:func:`build_iterator` turns a plan subtree into a generator of tuples for
+one segment.  Motion nodes are never executed here — the executor
+pre-materializes their output into per-segment buffers, and this module
+simply reads the buffer (slice-at-a-time execution).
+
+The PartitionSelector iterator realises both selection modes uniformly,
+as Section 3.2 requires:
+
+* constant predicates (including prepared-statement parameters) are
+  evaluated once, the selected OIDs pushed, and the channel closed before
+  any tuple flows — static elimination;
+* join predicates are evaluated per streamed tuple, pushing the OIDs each
+  tuple selects — dynamic elimination.  The channel closes when the input
+  is exhausted, which the engine's left-before-right execution order
+  guarantees happens before the consuming DynamicScan opens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..catalog import TableDescriptor
+from ..catalog.constraints import IntervalSet
+from ..errors import ExecutionError
+from ..expr.analysis import (
+    conj,
+    conjuncts,
+    derive_interval_set,
+    interval_for_comparison,
+    join_comparison_on_key,
+)
+from ..expr.ast import AggCall, ColumnRef
+from ..expr.eval import RowLayout, compile_expression, compile_predicate
+from ..physical import ops as phys
+from ..physical.properties import PartSelectorSpec
+from .context import COORDINATOR_SEGMENT, ExecContext
+from .runtime_funcs import partition_expansion, partition_propagation
+
+RowIter = Iterator[tuple]
+
+#: extension point: operator type -> iterator factory(op, segment, ctx).
+#: Used by :mod:`repro.executor.lowering` to register the Section 3.2
+#: function-based operators without creating an import cycle.
+EXTRA_ITERATORS: dict[type, Callable[..., RowIter]] = {}
+
+
+def build_iterator(
+    op: phys.PhysicalOp, segment: int, ctx: ExecContext
+) -> RowIter:
+    """Instantiate the iterator tree for ``op`` on one segment."""
+    factory = EXTRA_ITERATORS.get(type(op))
+    if factory is not None:
+        return factory(op, segment, ctx)
+    if isinstance(op, phys.Motion):
+        return iter(ctx.motion_buffer(id(op))[segment])
+    if isinstance(op, phys.Scan):
+        return _scan_iter(op, segment, ctx)
+    if isinstance(op, phys.EmptyScan):
+        return iter(())
+    if isinstance(op, phys.LeafScan):
+        return _leaf_scan_iter(op, segment, ctx)
+    if isinstance(op, phys.DynamicScan):
+        return _dynamic_scan_iter(op, segment, ctx)
+    if isinstance(op, phys.PartitionSelector):
+        return _partition_selector_iter(op, segment, ctx)
+    if isinstance(op, phys.Sequence):
+        return _sequence_iter(op, segment, ctx)
+    if isinstance(op, phys.Filter):
+        return _filter_iter(op, segment, ctx)
+    if isinstance(op, phys.Project):
+        return _project_iter(op, segment, ctx)
+    if isinstance(op, phys.HashJoin):
+        return _hash_join_iter(op, segment, ctx)
+    if isinstance(op, phys.NLJoin):
+        return _nl_join_iter(op, segment, ctx)
+    if isinstance(op, phys.HashAgg):
+        return _hash_agg_iter(op, segment, ctx)
+    if isinstance(op, phys.Sort):
+        return _sort_iter(op, segment, ctx)
+    if isinstance(op, phys.Limit):
+        return _limit_iter(op, segment, ctx)
+    if isinstance(op, phys.Append):
+        return _append_iter(op, segment, ctx)
+    if isinstance(op, phys.Update):
+        return _update_iter(op, segment, ctx)
+    if isinstance(op, phys.Delete):
+        return _delete_iter(op, segment, ctx)
+    raise ExecutionError(f"no iterator for operator {op.name}")
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+
+def _scan_iter(op: phys.Scan, segment: int, ctx: ExecContext) -> RowIter:
+    count = 0
+    for row in ctx.storage.scan_table(segment, op.table.oid):
+        count += 1
+        yield row
+    ctx.tracker.record_rows(count)
+
+
+def _leaf_scan_iter(op: phys.LeafScan, segment: int, ctx: ExecContext) -> RowIter:
+    if op.guard_scan_id is not None:
+        selected = ctx.channel(op.guard_scan_id, segment).consume()
+        if op.leaf_oid not in selected:
+            return
+    ctx.tracker.record_leaf(op.table.name, op.leaf_oid)
+    count = 0
+    for row in ctx.storage.scan_table(segment, op.table.oid, [op.leaf_oid]):
+        count += 1
+        yield row
+    ctx.tracker.record_rows(count)
+
+
+def _dynamic_scan_iter(
+    op: phys.DynamicScan, segment: int, ctx: ExecContext
+) -> RowIter:
+    oids = ctx.channel(op.part_scan_id, segment).consume()
+    count = 0
+    for oid in oids:
+        ctx.tracker.record_leaf(op.table.name, oid)
+        for row in ctx.storage.scan_table(segment, op.table.oid, [oid]):
+            count += 1
+            yield row
+    ctx.tracker.record_rows(count)
+
+
+# ---------------------------------------------------------------------------
+# PartitionSelector
+# ---------------------------------------------------------------------------
+
+
+class _SelectorProgram:
+    """Compiled form of a PartSelectorSpec for one execution.
+
+    Splits every level's predicate into a constant part (derived once into
+    an IntervalSet) and streaming comparisons (evaluated per input tuple).
+    Unsupported streaming shapes contribute no restriction — degrading to
+    more partitions, never fewer.
+
+    Per-tuple selection is the hot path of dynamic elimination, so two
+    optimisations apply: results are memoised per distinct streamed value
+    combination, and the common pure-equality case routes with the level's
+    binary search (the ``partition_selection`` built-in's fast path)
+    instead of constructing interval sets.
+    """
+
+    def __init__(
+        self,
+        spec: PartSelectorSpec,
+        child_layout: RowLayout | None,
+        params,
+    ):
+        self.spec = spec
+        self.table: TableDescriptor = spec.table
+        self.constant_sets: list[IntervalSet | None] = []
+        self.streaming: list[list[tuple[str, Callable[[tuple], Any]]]] = []
+        for key, predicate in zip(spec.part_keys, spec.part_predicates):
+            if predicate is None:
+                self.constant_sets.append(None)
+                self.streaming.append([])
+                continue
+            constant_parts = []
+            streaming_parts: list[tuple[str, Callable[[tuple], Any]]] = []
+            for conjunct in conjuncts(predicate):
+                derived = derive_interval_set(
+                    conjunct, key, params=params
+                )
+                if derived is not None:
+                    constant_parts.append(derived)
+                    continue
+                normalized = None
+                for candidate in join_comparison_on_key(conjunct, key):
+                    normalized = candidate
+                    break
+                if normalized is not None and child_layout is not None:
+                    right = compile_expression(
+                        normalized.right, child_layout, params
+                    )
+                    streaming_parts.append((normalized.op, right))
+                # else: unsupported shape — no restriction.
+            constant: IntervalSet | None = None
+            for part in constant_parts:
+                constant = part if constant is None else constant.intersect(part)
+            self.constant_sets.append(constant)
+            self.streaming.append(streaming_parts)
+
+        scheme = self.table.partition_scheme
+        assert scheme is not None
+        # Align scheme levels with the spec's key order.
+        levels_by_key = {level.key: level for level in scheme.levels}
+        self._levels = [levels_by_key[key.name] for key in spec.part_keys]
+        #: slot indices admitted by the constant parts alone, per level
+        self._constant_slots = [
+            level.select(constant)
+            for level, constant in zip(self._levels, self.constant_sets)
+        ]
+        self._eq_only = [
+            bool(parts) and all(op_name == "=" for op_name, _ in parts)
+            for parts in self.streaming
+        ]
+        self._memo: dict[tuple, list[int]] = {}
+
+    @property
+    def has_streaming(self) -> bool:
+        return any(self.streaming)
+
+    def _leaves_to_oids(self, slots_per_level: list[list[int]]) -> list[int]:
+        leaves: list[tuple[int, ...]] = [()]
+        for slots in slots_per_level:
+            if not slots:
+                return []
+            leaves = [leaf + (slot,) for leaf in leaves for slot in slots]
+        return [self.table.leaf_oid(leaf) for leaf in leaves]
+
+    def constant_oids(self) -> list[int]:
+        return self._leaves_to_oids(list(self._constant_slots))
+
+    def _slots_for_values(self, values: tuple) -> list[int]:
+        """Slot lists per level for one streamed value combination."""
+        slots_per_level: list[list[int]] = []
+        cursor = 0
+        for index, streaming in enumerate(self.streaming):
+            if not streaming:
+                slots_per_level.append(self._constant_slots[index])
+                continue
+            level = self._levels[index]
+            level_values = values[cursor : cursor + len(streaming)]
+            cursor += len(streaming)
+            constant = self.constant_sets[index]
+            if self._eq_only[index]:
+                # All equality comparisons: the value(s) must agree, lie in
+                # the constant set, and route to a single slot (bisect).
+                distinct = set(level_values)
+                if len(distinct) != 1:
+                    slots_per_level.append([])
+                    continue
+                value = next(iter(distinct))
+                if value is None or (
+                    constant is not None and not constant.contains(value)
+                ):
+                    slots_per_level.append([])
+                    continue
+                slot = level.route(value)
+                slots_per_level.append([slot] if slot is not None else [])
+                continue
+            level_set = constant
+            for (op_name, _), value in zip(streaming, level_values):
+                comparison_set = interval_for_comparison(op_name, value)
+                level_set = (
+                    comparison_set
+                    if level_set is None
+                    else level_set.intersect(comparison_set)
+                )
+            slots_per_level.append(level.select(level_set))
+        return self._leaves_to_oids(slots_per_level)
+
+    def oids_for_row(self, row: tuple) -> list[int]:
+        values = tuple(
+            right_fn(row)
+            for streaming in self.streaming
+            for _, right_fn in streaming
+        )
+        try:
+            cached = self._memo.get(values)
+        except TypeError:  # unhashable streamed value: compute directly
+            return self._slots_for_values(values)
+        if cached is None:
+            cached = self._slots_for_values(values)
+            self._memo[values] = cached
+        return cached
+
+
+def _partition_selector_iter(
+    op: phys.PartitionSelector, segment: int, ctx: ExecContext
+) -> RowIter:
+    spec = op.spec
+    channel = ctx.channel(spec.part_scan_id, segment)
+    child = op.children[0] if op.children else None
+    child_layout = child.output_layout() if child is not None else None
+    program = _SelectorProgram(spec, child_layout, ctx.params)
+
+    if not program.has_streaming:
+        # Static selection (constant predicates, parameters, or Φ): compute
+        # once, propagate, close — before any tuple flows.
+        if spec.has_predicates:
+            oids = program.constant_oids()
+        else:
+            oids = partition_expansion(ctx.catalog, spec.table.oid)
+        for oid in oids:
+            partition_propagation(ctx, spec.part_scan_id, segment, oid)
+        channel.close()
+        if child is not None:
+            yield from build_iterator(child, segment, ctx)
+        return
+
+    # Dynamic selection: apply the selection function per streamed tuple.
+    if child is None:
+        raise ExecutionError(
+            "streaming PartitionSelector requires an input (join predicate "
+            "over no tuples)"
+        )
+    for row in build_iterator(child, segment, ctx):
+        for oid in program.oids_for_row(row):
+            partition_propagation(ctx, spec.part_scan_id, segment, oid)
+        yield row
+    channel.close()
+
+
+def _sequence_iter(op: phys.Sequence, segment: int, ctx: ExecContext) -> RowIter:
+    for child in op.children[:-1]:
+        for _ in build_iterator(child, segment, ctx):
+            pass
+    yield from build_iterator(op.children[-1], segment, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Row operators
+# ---------------------------------------------------------------------------
+
+
+def _filter_iter(op: phys.Filter, segment: int, ctx: ExecContext) -> RowIter:
+    layout = op.children[0].output_layout()
+    predicate = compile_predicate(op.predicate, layout, ctx.params)
+    for row in build_iterator(op.children[0], segment, ctx):
+        if predicate(row):
+            yield row
+
+
+def _project_iter(op: phys.Project, segment: int, ctx: ExecContext) -> RowIter:
+    layout = op.children[0].output_layout()
+    funcs = [
+        compile_expression(expr, layout, ctx.params) for expr, _ in op.items
+    ]
+    for row in build_iterator(op.children[0], segment, ctx):
+        yield tuple(func(row) for func in funcs)
+
+
+def _hash_join_iter(op: phys.HashJoin, segment: int, ctx: ExecContext) -> RowIter:
+    build_layout = op.build.output_layout()
+    probe_layout = op.probe.output_layout()
+    build_fns = [
+        compile_expression(k, build_layout, ctx.params) for k in op.build_keys
+    ]
+    probe_fns = [
+        compile_expression(k, probe_layout, ctx.params) for k in op.probe_keys
+    ]
+    residual = None
+    if op.residual is not None:
+        residual = compile_predicate(
+            op.residual, build_layout.concat(probe_layout), ctx.params
+        )
+
+    table: dict[tuple, list[tuple]] = {}
+    for row in build_iterator(op.build, segment, ctx):
+        key = tuple(fn(row) for fn in build_fns)
+        if any(v is None for v in key):
+            continue  # NULL keys never join
+        table.setdefault(key, []).append(row)
+
+    semi = op.kind == "semi"
+    for probe_row in build_iterator(op.probe, segment, ctx):
+        key = tuple(fn(probe_row) for fn in probe_fns)
+        if any(v is None for v in key):
+            continue
+        matches = table.get(key)
+        if not matches:
+            continue
+        if semi:
+            if residual is None:
+                yield probe_row
+            else:
+                for build_row in matches:
+                    if residual(build_row + probe_row):
+                        yield probe_row
+                        break
+        else:
+            for build_row in matches:
+                combined = build_row + probe_row
+                if residual is None or residual(combined):
+                    yield combined
+
+
+def _nl_join_iter(op: phys.NLJoin, segment: int, ctx: ExecContext) -> RowIter:
+    outer_rows = list(build_iterator(op.outer, segment, ctx))
+    inner_rows = list(build_iterator(op.inner, segment, ctx))
+    combined_layout = op.outer.output_layout().concat(op.inner.output_layout())
+    predicate = (
+        compile_predicate(op.predicate, combined_layout, ctx.params)
+        if op.predicate is not None
+        else None
+    )
+    semi = op.kind == "semi"
+    for outer_row in outer_rows:
+        for inner_row in inner_rows:
+            combined = outer_row + inner_row
+            if predicate is None or predicate(combined):
+                if semi:
+                    yield outer_row
+                    break
+                yield combined
+
+
+class _Accumulator:
+    """State of one aggregate within one group."""
+
+    __slots__ = ("func", "count", "total", "best")
+
+    def __init__(self, func: str):
+        self.func = func
+        self.count = 0
+        self.total: Any = None
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.func == "count":
+            # COUNT(expr) skips NULLs; COUNT(*) feeds a sentinel non-NULL.
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "min":
+            self.best = value if self.best is None else min(self.best, value)
+        elif self.func == "max":
+            self.best = value if self.best is None else max(self.best, value)
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        return self.best
+
+    # -- two-stage aggregation ---------------------------------------------
+
+    def transition(self) -> Any:
+        """Partial-aggregate state shipped between segments.
+
+        AVG needs both the running sum and the count; the other functions'
+        transition state is their result so far.
+        """
+        if self.func == "avg":
+            return (self.total, self.count)
+        return self.result()
+
+    def combine(self, state: Any) -> None:
+        """Fold another segment's transition state into this accumulator."""
+        if self.func == "count":
+            if state is not None:
+                self.count += state
+            return
+        if self.func == "avg":
+            if state is None:
+                return
+            total, count = state
+            if total is not None:
+                self.total = total if self.total is None else self.total + total
+            self.count += count
+            return
+        if state is None:
+            return
+        if self.func == "sum":
+            self.total = state if self.total is None else self.total + state
+        elif self.func == "min":
+            self.best = state if self.best is None else min(self.best, state)
+        elif self.func == "max":
+            self.best = state if self.best is None else max(self.best, state)
+
+
+def _hash_agg_iter(op: phys.HashAgg, segment: int, ctx: ExecContext) -> RowIter:
+    layout = op.children[0].output_layout()
+    key_fns = [
+        compile_expression(key, layout, ctx.params) for key in op.group_keys
+    ]
+    if op.mode == "final":
+        # Input rows are (keys..., transition states...): combine them.
+        key_count = len(op.group_keys)
+        groups: dict[tuple, list[_Accumulator]] = {}
+        for row in build_iterator(op.children[0], segment, ctx):
+            key = row[:key_count]
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    _Accumulator(agg.func) for agg, _ in op.aggregates
+                ]
+                groups[key] = accumulators
+            for accumulator, state in zip(accumulators, row[key_count:]):
+                accumulator.combine(state)
+        if not groups and not op.group_keys:
+            if segment == COORDINATOR_SEGMENT:
+                yield tuple(
+                    _Accumulator(agg.func).result()
+                    for agg, _ in op.aggregates
+                )
+            return
+        for key, accumulators in groups.items():
+            yield key + tuple(acc.result() for acc in accumulators)
+        return
+
+    agg_arg_fns: list[Callable[[tuple], Any]] = []
+    for agg, _name in op.aggregates:
+        if agg.arg is None:
+            agg_arg_fns.append(lambda row: 1)  # COUNT(*)
+        else:
+            agg_arg_fns.append(
+                compile_expression(agg.arg, layout, ctx.params)
+            )
+
+    groups = {}
+    for row in build_iterator(op.children[0], segment, ctx):
+        key = tuple(fn(row) for fn in key_fns)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [
+                _Accumulator(agg.func) for agg, _ in op.aggregates
+            ]
+            groups[key] = accumulators
+        for accumulator, arg_fn in zip(accumulators, agg_arg_fns):
+            accumulator.add(arg_fn(row))
+
+    if op.mode == "partial":
+        # Emit per-segment transition rows; a scalar partial emits one row
+        # per segment even on empty input so the final stage always has
+        # states to combine.
+        if not groups and not op.group_keys:
+            yield tuple(
+                _Accumulator(agg.func).transition()
+                for agg, _ in op.aggregates
+            )
+            return
+        for key, accumulators in groups.items():
+            yield key + tuple(acc.transition() for acc in accumulators)
+        return
+
+    if not groups and not op.group_keys:
+        # Scalar aggregation over empty input yields one row; the child is
+        # always gathered to the coordinator, so emit there only.
+        if segment == COORDINATOR_SEGMENT:
+            yield tuple(
+                _Accumulator(agg.func).result() for agg, _ in op.aggregates
+            )
+        return
+    for key, accumulators in groups.items():
+        yield key + tuple(acc.result() for acc in accumulators)
+
+
+def _sort_key(keys_asc: list[bool]):
+    """Sort key with SQL NULL placement: NULLs last ascending, first
+    descending (PostgreSQL default)."""
+
+    class _Wrapped:
+        __slots__ = ("values",)
+
+        def __init__(self, values):
+            self.values = values
+
+        def __lt__(self, other: "_Wrapped") -> bool:
+            for (a, b), ascending in zip(
+                zip(self.values, other.values), keys_asc
+            ):
+                if a == b:
+                    continue
+                if a is None:
+                    return not ascending
+                if b is None:
+                    return ascending
+                return (a < b) if ascending else (b < a)
+            return False
+
+    return _Wrapped
+
+
+def _sort_iter(op: phys.Sort, segment: int, ctx: ExecContext) -> RowIter:
+    layout = op.children[0].output_layout()
+    key_fns = [
+        compile_expression(expr, layout, ctx.params) for expr, _ in op.keys
+    ]
+    ascending = [asc for _, asc in op.keys]
+    wrapper = _sort_key(ascending)
+    rows = list(build_iterator(op.children[0], segment, ctx))
+    rows.sort(key=lambda row: wrapper([fn(row) for fn in key_fns]))
+    yield from rows
+
+
+def _limit_iter(op: phys.Limit, segment: int, ctx: ExecContext) -> RowIter:
+    remaining = op.count
+    if remaining <= 0:
+        return
+    for row in build_iterator(op.children[0], segment, ctx):
+        yield row
+        remaining -= 1
+        if remaining == 0:
+            return
+
+
+def _append_iter(op: phys.Append, segment: int, ctx: ExecContext) -> RowIter:
+    for child in op.children:
+        yield from build_iterator(child, segment, ctx)
+
+
+def _update_iter(op: phys.Update, segment: int, ctx: ExecContext) -> RowIter:
+    child = op.children[0]
+    layout = child.output_layout()
+    target = op.target
+    alias = op.target_alias
+    old_indices = [
+        layout.resolve(ColumnRef(name, alias))
+        for name in target.schema.column_names
+    ]
+    assignment_fns = {
+        column: compile_expression(expr, layout, ctx.params)
+        for column, expr in op.assignments
+    }
+    column_names = target.schema.column_names
+
+    updates: list[tuple[tuple, tuple]] = []
+    for row in build_iterator(child, segment, ctx):
+        old_row = tuple(row[i] for i in old_indices)
+        new_values = []
+        for i, name in enumerate(column_names):
+            fn = assignment_fns.get(name)
+            new_values.append(fn(row) if fn is not None else old_row[i])
+        updates.append((old_row, tuple(new_values)))
+
+    if segment != COORDINATOR_SEGMENT:
+        # The child stream is gathered; only the coordinator applies.
+        if updates:
+            raise ExecutionError(
+                "Update received rows on a non-coordinator segment"
+            )
+        return
+
+    store = ctx.storage.store(target.oid)
+    _apply_updates(store, target, updates, ctx)
+    yield (len(updates),)
+
+
+def _apply_updates(store, target: TableDescriptor, updates, ctx: ExecContext):
+    """Delete-then-insert: re-routes rows whose partition key or
+    distribution key changed."""
+    from ..storage.distribution import segment_for
+
+    deletions: dict[tuple[int, int], list[tuple]] = {}
+    for old_row, _ in updates:
+        if target.is_partitioned:
+            leaf = target.route_row(old_row)
+            assert leaf is not None
+            oid = target.leaf_oid(leaf)
+        else:
+            oid = target.oid
+        dist = target.distribution
+        if dist.kind == "replicated":
+            segments = range(ctx.num_segments)
+        else:
+            col_idx = target.schema.column_index(dist.column)  # type: ignore[arg-type]
+            segments = [segment_for(old_row[col_idx], ctx.num_segments)]
+        for seg in segments:
+            deletions.setdefault((seg, oid), []).append(old_row)
+    for (seg, oid), rows in deletions.items():
+        store.delete_from_leaf(seg, oid, rows)
+    for _, new_row in updates:
+        store.insert(new_row)
+
+
+def _delete_iter(op: phys.Delete, segment: int, ctx: ExecContext) -> RowIter:
+    child = op.children[0]
+    layout = child.output_layout()
+    target = op.target
+    old_indices = [
+        layout.resolve(ColumnRef(name, op.target_alias))
+        for name in target.schema.column_names
+    ]
+    victims: list[tuple] = []
+    seen: set[tuple] = set()
+    for row in build_iterator(child, segment, ctx):
+        victim = tuple(row[i] for i in old_indices)
+        # a USING join may match the same target row several times; it is
+        # still deleted once (PostgreSQL semantics)
+        if victim not in seen:
+            seen.add(victim)
+            victims.append(victim)
+
+    if segment != COORDINATOR_SEGMENT:
+        if victims:
+            raise ExecutionError(
+                "Delete received rows on a non-coordinator segment"
+            )
+        return
+
+    from ..storage.distribution import segment_for
+
+    store = ctx.storage.store(target.oid)
+    deletions: dict[tuple[int, int], list[tuple]] = {}
+    for victim in victims:
+        if target.is_partitioned:
+            leaf = target.route_row(victim)
+            assert leaf is not None
+            oid = target.leaf_oid(leaf)
+        else:
+            oid = target.oid
+        dist = target.distribution
+        if dist.kind == "replicated":
+            segments = range(ctx.num_segments)
+        else:
+            col_idx = target.schema.column_index(dist.column)  # type: ignore[arg-type]
+            segments = [segment_for(victim[col_idx], ctx.num_segments)]
+        for seg in segments:
+            deletions.setdefault((seg, oid), []).append(victim)
+    for (seg, oid), rows in deletions.items():
+        store.delete_from_leaf(seg, oid, rows)
+    yield (len(victims),)

@@ -1,0 +1,33 @@
+"""Logical operator algebra produced by the binder."""
+
+from .ops import (
+    INNER,
+    SEMI,
+    LogicalDelete,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOp,
+    LogicalProject,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUpdate,
+    partitioned_gets,
+)
+
+__all__ = [
+    "INNER",
+    "SEMI",
+    "LogicalDelete",
+    "LogicalGet",
+    "LogicalGroupBy",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalOp",
+    "LogicalProject",
+    "LogicalSelect",
+    "LogicalSort",
+    "LogicalUpdate",
+    "partitioned_gets",
+]

@@ -1,0 +1,298 @@
+"""Logical operator algebra.
+
+The binder produces a tree of these operators from a SQL statement; both
+optimizers consume it.  Every operator knows its output
+:class:`~repro.expr.eval.RowLayout` so expressions can be checked against
+scope at plan time.
+
+Join kinds: ``inner`` and ``semi`` (the binder rewrites ``IN (subquery)``
+into a semi-join, which is how the paper's Figure 4 query is planned).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..catalog import TableDescriptor
+from ..expr.ast import AggCall, ColumnRef, Expression
+from ..expr.eval import RowLayout
+
+INNER, SEMI = "inner", "semi"
+JOIN_KINDS = (INNER, SEMI)
+
+
+class LogicalOp:
+    """Base class for logical operators."""
+
+    children: tuple["LogicalOp", ...] = ()
+
+    def output_layout(self) -> RowLayout:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["LogicalOp"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removeprefix("Logical")
+
+    def with_children(self, children: Sequence["LogicalOp"]) -> "LogicalOp":
+        """Shallow copy with new children (used by the Memo)."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.children = tuple(children)
+        return clone
+
+    def describe(self) -> str:
+        """One-line annotation for explain output."""
+        return ""
+
+    def explain(self, indent: int = 0) -> str:
+        line = "  " * indent + self.name
+        detail = self.describe()
+        if detail:
+            line += f" ({detail})"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.explain()
+
+
+class LogicalGet(LogicalOp):
+    """A base-table access, partitioned or not."""
+
+    def __init__(self, table: TableDescriptor, alias: str):
+        self.table = table
+        self.alias = alias
+
+    def output_layout(self) -> RowLayout:
+        return RowLayout.for_table(self.alias, self.table.schema.column_names)
+
+    def describe(self) -> str:
+        label = self.table.name
+        if self.alias != self.table.name:
+            label += f" AS {self.alias}"
+        if self.table.is_partitioned:
+            label += f", {self.table.num_leaves} parts"
+        return label
+
+
+class LogicalSelect(LogicalOp):
+    """Filter rows by a predicate."""
+
+    def __init__(self, child: LogicalOp, predicate: Expression):
+        self.children = (child,)
+        self.predicate = predicate
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        return self.child.output_layout()
+
+    def describe(self) -> str:
+        return repr(self.predicate)
+
+
+class LogicalProject(LogicalOp):
+    """Compute output columns.  Each item is ``(expression, output name)``."""
+
+    def __init__(
+        self, child: LogicalOp, items: Sequence[tuple[Expression, str]]
+    ):
+        self.children = (child,)
+        self.items: tuple[tuple[Expression, str], ...] = tuple(items)
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        return RowLayout([(None, name) for _, name in self.items])
+
+    def describe(self) -> str:
+        return ", ".join(f"{expr!r} AS {name}" for expr, name in self.items)
+
+
+class LogicalJoin(LogicalOp):
+    """Inner or semi join with an arbitrary predicate."""
+
+    def __init__(
+        self,
+        kind: str,
+        left: LogicalOp,
+        right: LogicalOp,
+        predicate: Expression | None,
+    ):
+        if kind not in JOIN_KINDS:
+            raise ValueError(f"unknown join kind {kind!r}")
+        self.kind = kind
+        self.children = (left, right)
+        self.predicate = predicate
+
+    @property
+    def left(self) -> LogicalOp:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalOp:
+        return self.children[1]
+
+    def output_layout(self) -> RowLayout:
+        left_layout = self.left.output_layout()
+        if self.kind == SEMI:
+            return left_layout
+        return left_layout.concat(self.right.output_layout())
+
+    def describe(self) -> str:
+        return f"{self.kind}, {self.predicate!r}"
+
+
+class LogicalGroupBy(LogicalOp):
+    """Grouped (or scalar, when ``group_keys`` is empty) aggregation."""
+
+    def __init__(
+        self,
+        child: LogicalOp,
+        group_keys: Sequence[ColumnRef],
+        aggregates: Sequence[tuple[AggCall, str]],
+    ):
+        self.children = (child,)
+        self.group_keys: tuple[ColumnRef, ...] = tuple(group_keys)
+        self.aggregates: tuple[tuple[AggCall, str], ...] = tuple(aggregates)
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        slots: list[tuple[str | None, str]] = [
+            (key.qualifier, key.name) for key in self.group_keys
+        ]
+        slots.extend((None, name) for _, name in self.aggregates)
+        return RowLayout(slots)
+
+    def describe(self) -> str:
+        keys = ", ".join(repr(k) for k in self.group_keys)
+        aggs = ", ".join(f"{agg!r} AS {name}" for agg, name in self.aggregates)
+        return f"keys=[{keys}], aggs=[{aggs}]"
+
+
+class LogicalSort(LogicalOp):
+    """Order rows by ``(expression, ascending)`` keys."""
+
+    def __init__(
+        self, child: LogicalOp, keys: Sequence[tuple[Expression, bool]]
+    ):
+        self.children = (child,)
+        self.keys: tuple[tuple[Expression, bool], ...] = tuple(keys)
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        return self.child.output_layout()
+
+    def describe(self) -> str:
+        return ", ".join(
+            f"{expr!r} {'ASC' if asc else 'DESC'}" for expr, asc in self.keys
+        )
+
+
+class LogicalLimit(LogicalOp):
+    """Keep the first ``count`` rows."""
+
+    def __init__(self, child: LogicalOp, count: int):
+        self.children = (child,)
+        self.count = count
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        return self.child.output_layout()
+
+    def describe(self) -> str:
+        return str(self.count)
+
+
+class LogicalUpdate(LogicalOp):
+    """``UPDATE target SET col = expr, ... [FROM ...] WHERE ...``.
+
+    The child produces the joined/filtered rows; the target table's columns
+    must be visible in the child layout under ``target_alias``.  Output is a
+    single count row.
+    """
+
+    def __init__(
+        self,
+        child: LogicalOp,
+        target: TableDescriptor,
+        target_alias: str,
+        assignments: Sequence[tuple[str, Expression]],
+    ):
+        self.children = (child,)
+        self.target = target
+        self.target_alias = target_alias
+        self.assignments: tuple[tuple[str, Expression], ...] = tuple(assignments)
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        return RowLayout([(None, "updated")])
+
+    def describe(self) -> str:
+        sets = ", ".join(f"{col}={expr!r}" for col, expr in self.assignments)
+        return f"{self.target.name}: {sets}"
+
+
+class LogicalDelete(LogicalOp):
+    """``DELETE FROM target [USING ...] WHERE ...``.
+
+    The child produces the rows to delete; the target table's columns must
+    be visible in the child layout under ``target_alias``.  Output is a
+    single count row.
+    """
+
+    def __init__(
+        self,
+        child: LogicalOp,
+        target: TableDescriptor,
+        target_alias: str,
+    ):
+        self.children = (child,)
+        self.target = target
+        self.target_alias = target_alias
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_layout(self) -> RowLayout:
+        return RowLayout([(None, "deleted")])
+
+    def describe(self) -> str:
+        return self.target.name
+
+
+def partitioned_gets(root: LogicalOp) -> list[LogicalGet]:
+    """All Get operators over partitioned tables, in traversal order.
+
+    These are the scans that become DynamicScans and need
+    PartitionSelectors (the initialisation step of Algorithm 1)."""
+    return [
+        op
+        for op in root.walk()
+        if isinstance(op, LogicalGet) and op.table.is_partitioned
+    ]

@@ -1,0 +1,19 @@
+"""Query optimization: placement algorithms, statistics, cost model, the
+Orca-style Cascades engine, and the legacy Planner baseline."""
+
+from .cost import CostModel
+from .orca import OrcaOptimizer
+from .placement import initial_specs, place_part_selectors
+from .planner import PlannerOptimizer
+from .stats import StatsRegistry, TableStats, collect_stats
+
+__all__ = [
+    "CostModel",
+    "OrcaOptimizer",
+    "PlannerOptimizer",
+    "StatsRegistry",
+    "TableStats",
+    "collect_stats",
+    "initial_specs",
+    "place_part_selectors",
+]

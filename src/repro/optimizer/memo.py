@@ -1,0 +1,272 @@
+"""The Memo: compact encoding of the optimizer's search space.
+
+Following the Cascades framework (and the paper's Figure 13), the Memo is a
+set of **groups** of logically equivalent expressions; each **group
+expression** is an operator whose children are *group references*, so a
+very large plan space is encoded without duplication.
+
+Each group carries logical properties computed once at copy-in:
+
+* ``layout`` — the output columns (used to decide which side of a join an
+  expression refers to);
+* ``aliases`` — base relations visible in the subtree;
+* ``consumer_specs`` — for every DynamicScan in the subtree, the initial
+  (predicate-free) :class:`PartSelectorSpec`; this is how optimization
+  requests are routed toward the consumer;
+* ``estimate`` — the cardinality estimate driving the cost model;
+* per-group **request hash tables** mapping each optimization request to
+  its best plan (paper Figure 13's small tables).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import OptimizerError
+from ..expr.eval import RowLayout
+from ..logical.ops import (
+    LogicalDelete,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOp,
+    LogicalProject,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUpdate,
+)
+from ..physical.properties import PartSelectorSpec
+from .cards import (
+    RelationEstimate,
+    group_estimate,
+    join_estimate,
+    predicate_selectivity,
+)
+from .stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .requests import BestInfo, OptimizationRequest
+
+
+class GroupExpression:
+    """An operator with group references as children."""
+
+    __slots__ = ("op", "child_groups", "is_logical", "rule_mask")
+
+    def __init__(self, op, child_groups: tuple[int, ...], is_logical: bool):
+        self.op = op
+        self.child_groups = child_groups
+        self.is_logical = is_logical
+        #: names of exploration rules already applied (loop prevention)
+        self.rule_mask: set[str] = set()
+
+    def key(self) -> tuple:
+        return (type(self.op).__name__, _op_key(self.op), self.child_groups)
+
+    def __repr__(self) -> str:
+        kids = ",".join(str(g) for g in self.child_groups)
+        kind = "L" if self.is_logical else "P"
+        return f"{kind}:{type(self.op).__name__}[{kids}]"
+
+
+def _op_key(op) -> tuple:
+    """A hashable identity for an operator's parameters (children excluded)."""
+    from ..physical import ops as phys
+
+    if isinstance(op, LogicalGet):
+        return (op.table.oid, op.alias)
+    if isinstance(op, LogicalSelect):
+        return (op.predicate,)
+    if isinstance(op, LogicalProject):
+        return (op.items,)
+    if isinstance(op, LogicalJoin):
+        return (op.kind, op.predicate)
+    if isinstance(op, LogicalGroupBy):
+        return (op.group_keys, op.aggregates)
+    if isinstance(op, LogicalSort):
+        return (op.keys,)
+    if isinstance(op, LogicalLimit):
+        return (op.count,)
+    if isinstance(op, LogicalUpdate):
+        return (op.target.oid, op.target_alias, op.assignments)
+    if isinstance(op, LogicalDelete):
+        return (op.target.oid, op.target_alias)
+    if isinstance(op, phys.Scan):
+        return (op.table.oid, op.alias)
+    if isinstance(op, phys.DynamicScan):
+        return (op.table.oid, op.alias, op.part_scan_id)
+    if isinstance(op, phys.Filter):
+        return (op.predicate,)
+    if isinstance(op, phys.Project):
+        return (op.items,)
+    if isinstance(op, phys.HashJoin):
+        return (op.kind, op.build_keys, op.probe_keys, op.residual)
+    if isinstance(op, phys.NLJoin):
+        return (op.kind, op.predicate)
+    if isinstance(op, phys.HashAgg):
+        return (op.group_keys, op.aggregates, op.mode)
+    if isinstance(op, phys.Sort):
+        return (op.keys,)
+    if isinstance(op, phys.Limit):
+        return (op.count,)
+    if isinstance(op, phys.Update):
+        return (op.target.oid, op.target_alias, op.assignments)
+    if isinstance(op, phys.Delete):
+        return (op.target.oid, op.target_alias)
+    raise OptimizerError(f"no memo key for operator {type(op).__name__}")
+
+
+class Group:
+    """A set of logically equivalent expressions plus logical properties."""
+
+    def __init__(
+        self,
+        group_id: int,
+        layout: RowLayout,
+        aliases: frozenset[str],
+        consumer_specs: dict[int, PartSelectorSpec],
+        estimate: RelationEstimate,
+    ):
+        self.id = group_id
+        self.layout = layout
+        self.aliases = aliases
+        self.consumer_specs = consumer_specs
+        self.estimate = estimate
+        self.gexprs: list[GroupExpression] = []
+        self._keys: set[tuple] = set()
+        #: request hash table: OptimizationRequest -> BestInfo
+        self.best: dict["OptimizationRequest", "BestInfo"] = {}
+        self._in_progress: set["OptimizationRequest"] = set()
+
+    @property
+    def consumer_ids(self) -> set[int]:
+        return set(self.consumer_specs)
+
+    def add(self, gexpr: GroupExpression) -> bool:
+        """Insert a group expression if not already present."""
+        key = gexpr.key()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self.gexprs.append(gexpr)
+        return True
+
+    def logical_exprs(self) -> list[GroupExpression]:
+        return [g for g in self.gexprs if g.is_logical]
+
+    def physical_exprs(self) -> list[GroupExpression]:
+        return [g for g in self.gexprs if not g.is_logical]
+
+    def __repr__(self) -> str:
+        return f"Group({self.id}, {len(self.gexprs)} exprs)"
+
+
+class Memo:
+    """All groups for one optimization run."""
+
+    def __init__(self, stats: StatsRegistry):
+        self.stats = stats
+        self.groups: list[Group] = []
+        self._next_part_scan_id = 1
+        #: part_scan_id -> (table, alias) for every partitioned Get
+        self.part_scans: dict[int, tuple] = {}
+
+    def group(self, group_id: int) -> Group:
+        return self.groups[group_id]
+
+    def __iter__(self) -> Iterator[Group]:
+        return iter(self.groups)
+
+    # -- construction ---------------------------------------------------------
+
+    def copy_in(self, op: LogicalOp) -> int:
+        """Recursively insert a logical tree, returning the root group id.
+
+        Partitioned Gets are assigned their ``part_scan_id`` here — the
+        initialisation step of the paper's Algorithm 1.
+        """
+        child_ids = tuple(self.copy_in(child) for child in op.children)
+        template = op.with_children(()) if op.children else op
+        group = self._new_group_for(op, child_ids)
+        group.add(GroupExpression(template, child_ids, is_logical=True))
+        return group.id
+
+    def _new_group_for(self, op: LogicalOp, child_ids: tuple[int, ...]) -> Group:
+        layout = op.output_layout()
+        aliases: frozenset[str] = frozenset()
+        consumer_specs: dict[int, PartSelectorSpec] = {}
+        for child_id in child_ids:
+            child = self.group(child_id)
+            aliases |= child.aliases
+            consumer_specs.update(child.consumer_specs)
+
+        estimate = self._estimate(op, child_ids)
+
+        if isinstance(op, LogicalGet):
+            aliases = frozenset({op.alias})
+            if op.table.is_partitioned:
+                scan_id = self._next_part_scan_id
+                self._next_part_scan_id += 1
+                spec = PartSelectorSpec.for_table(scan_id, op.table, op.alias)
+                consumer_specs = {scan_id: spec}
+                self.part_scans[scan_id] = (op.table, op.alias)
+        elif isinstance(op, LogicalJoin) and op.kind == "semi":
+            # Semi-join output hides the right side.
+            pass
+
+        group = Group(
+            len(self.groups), layout, aliases, consumer_specs, estimate
+        )
+        self.groups.append(group)
+        return group
+
+    def _estimate(
+        self, op: LogicalOp, child_ids: tuple[int, ...]
+    ) -> RelationEstimate:
+        children = [self.group(cid).estimate for cid in child_ids]
+        if isinstance(op, LogicalGet):
+            return RelationEstimate.for_table(
+                op.alias, self.stats.get(op.table)
+            )
+        if isinstance(op, LogicalSelect):
+            return children[0].scaled(
+                predicate_selectivity(op.predicate, children[0])
+            )
+        if isinstance(op, LogicalJoin):
+            return join_estimate(
+                children[0], children[1], op.predicate, op.kind
+            )
+        if isinstance(op, LogicalProject):
+            return RelationEstimate(children[0].rows, dict(children[0].columns))
+        if isinstance(op, LogicalGroupBy):
+            rows = group_estimate(children[0], list(op.group_keys))
+            return RelationEstimate(rows, dict(children[0].columns))
+        if isinstance(op, LogicalSort):
+            return children[0]
+        if isinstance(op, LogicalLimit):
+            return RelationEstimate(
+                min(float(op.count), children[0].rows),
+                dict(children[0].columns),
+            )
+        if isinstance(op, (LogicalUpdate, LogicalDelete)):
+            return RelationEstimate(1.0, {})
+        raise OptimizerError(f"no estimate for {type(op).__name__}")
+
+    # -- statistics of the search ------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable dump of groups, expressions and request tables
+        (the Figure 13 view)."""
+        lines = []
+        for group in self.groups:
+            lines.append(
+                f"GROUP {group.id} (rows≈{group.estimate.rows:.0f}, "
+                f"consumers={sorted(group.consumer_ids)})"
+            )
+            for gexpr in group.gexprs:
+                lines.append(f"  {gexpr!r}: {gexpr.op.describe()}")
+            for request, best in group.best.items():
+                cost = best.cost if best else float("inf")
+                lines.append(f"  req {request!r} -> cost {cost:.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Optimization requests and best-plan bookkeeping.
+
+An :class:`OptimizationRequest` is the paper's request pair extended with
+the co-location constraint needed to express the Figure 12 validity rule in
+the request calculus:
+
+* ``dist`` — required :class:`DistributionSpec`;
+* ``props`` — required :class:`PartitionPropagationSpec`, the set of
+  PartSelectorSpecs still to be resolved in (or on top of) the subtree;
+* ``colocated`` — part scan ids whose *consumer* lives in this subtree and
+  whose *producer* was placed outside it (join-driven dynamic elimination):
+  no Motion may appear between this subtree's root and those consumers, so
+  Motion enforcers are forbidden while the set is non-empty.
+
+:class:`BestInfo` records, per (group, request), the winning alternative:
+a group expression with its child requests, a Motion enforcer, a
+PartitionSelector enforcer, or the ``Sequence``-like selector+DynamicScan
+unit at a scan group.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..physical.properties import (
+    DistributionSpec,
+    PartitionPropagationSpec,
+    PartSelectorSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .memo import GroupExpression
+
+
+class OptimizationRequest:
+    """Required physical properties submitted to a Memo group."""
+
+    __slots__ = ("dist", "props", "colocated")
+
+    def __init__(
+        self,
+        dist: DistributionSpec,
+        props: PartitionPropagationSpec | None = None,
+        colocated: frozenset[int] = frozenset(),
+    ):
+        self.dist = dist
+        self.props = props or PartitionPropagationSpec.none()
+        self.colocated = colocated
+
+    def with_dist(self, dist: DistributionSpec) -> "OptimizationRequest":
+        return OptimizationRequest(dist, self.props, self.colocated)
+
+    def with_props(
+        self, props: PartitionPropagationSpec
+    ) -> "OptimizationRequest":
+        return OptimizationRequest(self.dist, props, self.colocated)
+
+    def _key(self) -> tuple:
+        return (self.dist, self.props, self.colocated)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OptimizationRequest):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        parts = [repr(self.dist), repr(self.props)]
+        if self.colocated:
+            parts.append(f"coloc={sorted(self.colocated)}")
+        return "{" + ", ".join(parts) + "}"
+
+
+class BestInfo:
+    """The winning alternative for one (group, request) pair."""
+
+    GEXPR = "gexpr"
+    MOTION = "motion"
+    SELECTOR = "selector"
+    SCAN_UNIT = "scan_unit"
+    TWO_STAGE_AGG = "two_stage_agg"
+    TOP_N = "top_n"
+
+    __slots__ = (
+        "kind",
+        "cost",
+        "delivered",
+        "gexpr",
+        "child_requests",
+        "motion_kind",
+        "motion_exprs",
+        "selector_spec",
+        "child_request",
+        "extra",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        cost: float,
+        delivered: DistributionSpec,
+        gexpr: "GroupExpression | None" = None,
+        child_requests: Sequence[OptimizationRequest] = (),
+        motion_kind: str | None = None,
+        motion_exprs: tuple = (),
+        selector_spec: PartSelectorSpec | None = None,
+        child_request: OptimizationRequest | None = None,
+        extra: dict | None = None,
+    ):
+        self.kind = kind
+        self.cost = cost
+        self.delivered = delivered
+        self.gexpr = gexpr
+        self.child_requests = tuple(child_requests)
+        self.motion_kind = motion_kind
+        self.motion_exprs = motion_exprs
+        self.selector_spec = selector_spec
+        self.child_request = child_request
+        #: alternative-specific payload (e.g. top-N sort keys)
+        self.extra = extra or {}
+
+    def __repr__(self) -> str:
+        if self.kind == self.GEXPR:
+            return f"Best(gexpr={self.gexpr!r}, cost={self.cost:.1f})"
+        if self.kind == self.MOTION:
+            return f"Best(motion={self.motion_kind}, cost={self.cost:.1f})"
+        if self.kind == self.SELECTOR:
+            return f"Best(selector={self.selector_spec!r}, cost={self.cost:.1f})"
+        return f"Best(scan_unit={self.selector_spec!r}, cost={self.cost:.1f})"

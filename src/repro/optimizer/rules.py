@@ -1,0 +1,239 @@
+"""Exploration and implementation rules.
+
+Exploration enlarges the logical space (join commutativity — what lets the
+Memo of the paper's Figure 13 contain both ``HashJoin[1,2]`` and
+``HashJoin[2,1]``); implementation turns logical expressions into physical
+alternatives within the same group.
+"""
+
+from __future__ import annotations
+
+from ..errors import OptimizerError
+from ..expr.analysis import conj, conjuncts
+from ..expr.ast import Comparison, Expression, column_refs
+from ..expr.eval import RowLayout
+from ..logical.ops import (
+    LogicalDelete,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUpdate,
+)
+from ..physical import ops as phys
+from .memo import Group, GroupExpression, Memo
+
+JOIN_COMMUTE = "join_commute"
+
+
+def explore(memo: Memo) -> None:
+    """Apply exploration rules to a fixpoint."""
+    changed = True
+    while changed:
+        changed = False
+        for group in memo:
+            for gexpr in list(group.logical_exprs()):
+                if _apply_join_commutativity(group, gexpr):
+                    changed = True
+
+
+def _apply_join_commutativity(group: Group, gexpr: GroupExpression) -> bool:
+    op = gexpr.op
+    if not isinstance(op, LogicalJoin) or op.kind != "inner":
+        return False
+    if JOIN_COMMUTE in gexpr.rule_mask:
+        return False
+    gexpr.rule_mask.add(JOIN_COMMUTE)
+    swapped = GroupExpression(
+        op.with_children(()),
+        (gexpr.child_groups[1], gexpr.child_groups[0]),
+        is_logical=True,
+    )
+    added = group.add(swapped)
+    swapped.rule_mask.add(JOIN_COMMUTE)
+    return added
+
+
+def implement(memo: Memo) -> None:
+    """Create physical alternatives for every logical expression."""
+    for group in memo:
+        for gexpr in list(group.logical_exprs()):
+            for physical in _implementations(memo, group, gexpr):
+                group.add(physical)
+
+
+def _implementations(memo: Memo, group: Group, gexpr: GroupExpression):
+    op = gexpr.op
+    kids = gexpr.child_groups
+    if isinstance(op, LogicalGet):
+        if op.table.is_partitioned:
+            scan_id = next(iter(group.consumer_ids))
+            yield GroupExpression(
+                phys.DynamicScan(op.table, op.alias, scan_id), kids, False
+            )
+        else:
+            yield GroupExpression(phys.Scan(op.table, op.alias), kids, False)
+        return
+    if isinstance(op, LogicalSelect):
+        yield GroupExpression(
+            _bare(phys.Filter, predicate=op.predicate), kids, False
+        )
+        return
+    if isinstance(op, LogicalProject):
+        yield GroupExpression(_bare(phys.Project, items=op.items), kids, False)
+        return
+    if isinstance(op, LogicalJoin):
+        yield from _implement_join(memo, op, kids)
+        return
+    if isinstance(op, LogicalGroupBy):
+        yield GroupExpression(
+            _bare(
+                phys.HashAgg,
+                group_keys=op.group_keys,
+                aggregates=op.aggregates,
+                mode="single",
+            ),
+            kids,
+            False,
+        )
+        return
+    if isinstance(op, LogicalSort):
+        yield GroupExpression(_bare(phys.Sort, keys=op.keys), kids, False)
+        return
+    if isinstance(op, LogicalLimit):
+        yield GroupExpression(_bare(phys.Limit, count=op.count), kids, False)
+        return
+    if isinstance(op, LogicalUpdate):
+        yield GroupExpression(
+            _bare(
+                phys.Update,
+                target=op.target,
+                target_alias=op.target_alias,
+                assignments=op.assignments,
+            ),
+            kids,
+            False,
+        )
+        return
+    if isinstance(op, LogicalDelete):
+        yield GroupExpression(
+            _bare(
+                phys.Delete,
+                target=op.target,
+                target_alias=op.target_alias,
+            ),
+            kids,
+            False,
+        )
+        return
+    raise OptimizerError(f"no implementation rule for {type(op).__name__}")
+
+
+def _bare(cls, **attrs):
+    """Construct a physical operator template without children.
+
+    Physical constructors take children positionally; templates in the Memo
+    have none, so we allocate and set the parameter fields directly.
+    """
+    op = cls.__new__(cls)
+    op.children = ()
+    for name, value in attrs.items():
+        setattr(op, name, tuple(value) if isinstance(value, list) else value)
+    return op
+
+
+def _implement_join(memo: Memo, op: LogicalJoin, kids: tuple[int, ...]):
+    left_layout = memo.group(kids[0]).layout
+    right_layout = memo.group(kids[1]).layout
+    left_keys, right_keys, residual = split_equijoin(
+        op.predicate, left_layout, right_layout
+    )
+    if op.kind == "inner":
+        if left_keys:
+            yield GroupExpression(
+                _bare(
+                    phys.HashJoin,
+                    kind="inner",
+                    build_keys=left_keys,
+                    probe_keys=right_keys,
+                    residual=residual,
+                ),
+                kids,
+                False,
+            )
+        yield GroupExpression(
+            _bare(phys.NLJoin, kind="inner", predicate=op.predicate),
+            kids,
+            False,
+        )
+        return
+    # Semi join: emit left-side rows with >=1 match on the right.  The hash
+    # implementation builds on the RIGHT input (executed first) and probes
+    # with the LEFT input, so the physical child order is (right, left) —
+    # this is what lets the subquery side drive dynamic partition
+    # elimination for the paper's Figure 4 query.
+    if left_keys:
+        yield GroupExpression(
+            _bare(
+                phys.HashJoin,
+                kind="semi",
+                build_keys=right_keys,
+                probe_keys=left_keys,
+                residual=residual,
+            ),
+            (kids[1], kids[0]),
+            False,
+        )
+    yield GroupExpression(
+        _bare(phys.NLJoin, kind="semi", predicate=op.predicate),
+        kids,
+        False,
+    )
+
+
+def split_equijoin(
+    predicate: Expression | None,
+    left_layout: RowLayout,
+    right_layout: RowLayout,
+) -> tuple[list[Expression], list[Expression], Expression | None]:
+    """Split a join predicate into aligned equi-key lists plus a residual.
+
+    A conjunct ``a = b`` becomes a key pair when one side's columns all
+    resolve in the left layout and the other side's all in the right.
+    """
+    left_keys: list[Expression] = []
+    right_keys: list[Expression] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts(predicate):
+        pair = _equi_pair(conjunct, left_layout, right_layout)
+        if pair is not None:
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+        else:
+            residual.append(conjunct)
+    return left_keys, right_keys, conj(residual)
+
+
+def _equi_pair(
+    conjunct: Expression,
+    left_layout: RowLayout,
+    right_layout: RowLayout,
+) -> tuple[Expression, Expression] | None:
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    sides = (conjunct.left, conjunct.right)
+    refs = [column_refs(side) for side in sides]
+    if not refs[0] or not refs[1]:
+        return None
+
+    def fits(side_refs, layout: RowLayout) -> bool:
+        return all(layout.has(ref) for ref in side_refs)
+
+    if fits(refs[0], left_layout) and fits(refs[1], right_layout):
+        return sides[0], sides[1]
+    if fits(refs[1], left_layout) and fits(refs[0], right_layout):
+        return sides[1], sides[0]
+    return None

@@ -1,0 +1,18 @@
+"""SQL front end: lexer, parser, binder."""
+
+from .ast import InsertStmt, InSubquery, SelectItem, SelectStmt, Statement, TableRef, UpdateStmt
+from .binder import Binder
+from .parser import parse, parse_expression
+
+__all__ = [
+    "Binder",
+    "InsertStmt",
+    "InSubquery",
+    "SelectItem",
+    "SelectStmt",
+    "Statement",
+    "TableRef",
+    "UpdateStmt",
+    "parse",
+    "parse_expression",
+]

@@ -1,0 +1,163 @@
+"""Statement-level AST produced by the parser.
+
+Scalar expressions reuse :mod:`repro.expr.ast` (unbound: column references
+carry whatever qualifier the query wrote).  The only SQL-specific expression
+node is :class:`InSubquery`, which the binder rewrites to a semi-join —
+that is how the paper's Figure 4 query acquires its join-based dynamic
+partition elimination opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..expr.ast import Expression
+
+
+class InSubquery(Expression):
+    """``subject IN (SELECT ...)`` — rewritten to a semi-join by the binder."""
+
+    __slots__ = ("subject", "subquery")
+
+    def __init__(self, subject: Expression, subquery: "SelectStmt"):
+        self.subject = subject
+        self.subquery = subquery
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.subject,)
+
+    def _key(self) -> tuple:
+        return (self.subject, id(self.subquery))
+
+    def __repr__(self) -> str:
+        return f"({self.subject!r} IN (subquery))"
+
+
+class TableRef:
+    """A table mention in FROM, with its effective alias."""
+
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name: str, alias: str | None = None):
+        self.name = name
+        self.alias = alias or name
+
+    def __repr__(self) -> str:
+        if self.alias != self.name:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+class SelectItem:
+    """One entry of the select list; ``expr is None`` encodes ``*``."""
+
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr: Expression | None, alias: str | None = None):
+        self.expr = expr
+        self.alias = alias
+
+    @property
+    def is_star(self) -> bool:
+        return self.expr is None
+
+    def __repr__(self) -> str:
+        if self.is_star:
+            return "*"
+        if self.alias:
+            return f"{self.expr!r} AS {self.alias}"
+        return repr(self.expr)
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+class SelectStmt(Statement):
+    """A SELECT query.
+
+    ``tables`` holds comma-list FROM entries; ``joins`` holds explicit
+    ``JOIN ... ON`` clauses applied left-deep after ``tables``.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        tables: Sequence[TableRef],
+        joins: Sequence[tuple[TableRef, Expression]] = (),
+        where: Expression | None = None,
+        group_by: Sequence[Expression] = (),
+        order_by: Sequence[tuple[Expression, bool]] = (),
+        limit: int | None = None,
+        distinct: bool = False,
+    ):
+        self.items = list(items)
+        self.tables = list(tables)
+        self.joins = list(joins)
+        self.where = where
+        self.group_by = list(group_by)
+        self.order_by = list(order_by)
+        self.limit = limit
+        self.distinct = distinct
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectStmt(items={self.items!r}, tables={self.tables!r}, "
+            f"where={self.where!r})"
+        )
+
+
+class UpdateStmt(Statement):
+    """``UPDATE target SET ... [FROM tables] [WHERE ...]``."""
+
+    def __init__(
+        self,
+        target: TableRef,
+        assignments: Sequence[tuple[str, Expression]],
+        from_tables: Sequence[TableRef] = (),
+        where: Expression | None = None,
+    ):
+        self.target = target
+        self.assignments = list(assignments)
+        self.from_tables = list(from_tables)
+        self.where = where
+
+    def __repr__(self) -> str:
+        return f"UpdateStmt(target={self.target!r}, sets={self.assignments!r})"
+
+
+class DeleteStmt(Statement):
+    """``DELETE FROM target [USING tables] [WHERE ...]``."""
+
+    def __init__(
+        self,
+        target: TableRef,
+        using_tables: Sequence[TableRef] = (),
+        where: Expression | None = None,
+    ):
+        self.target = target
+        self.using_tables = list(using_tables)
+        self.where = where
+
+    def __repr__(self) -> str:
+        return f"DeleteStmt(target={self.target!r}, where={self.where!r})"
+
+
+class InsertStmt(Statement):
+    """``INSERT INTO table VALUES (...)`` over literal rows, or
+    ``INSERT INTO table SELECT ...``."""
+
+    def __init__(
+        self,
+        table: TableRef,
+        rows: Sequence[Sequence[Any]],
+        select: "SelectStmt | None" = None,
+    ):
+        self.table = table
+        self.rows = [list(r) for r in rows]
+        self.select = select
+
+    def __repr__(self) -> str:
+        if self.select is not None:
+            return f"InsertStmt({self.table!r}, SELECT ...)"
+        return f"InsertStmt({self.table!r}, {len(self.rows)} rows)"

@@ -1,0 +1,148 @@
+"""SQL lexer.
+
+Produces a stream of :class:`Token` objects for the parser.  The dialect is
+the fragment the paper's queries need: identifiers, quoted strings, numeric
+literals, parameters (``$1``), comparison operators, punctuation, and the
+keyword set below.  Keywords are case-insensitive; identifiers are folded
+to lower case (like PostgreSQL without quoting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import SqlError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "limit", "as",
+    "and", "or", "not", "between", "in", "is", "null", "asc", "desc",
+    "join", "inner", "on", "update", "set", "insert", "into", "values",
+    "distinct", "true", "false", "avg", "sum", "count", "min", "max",
+    "delete", "using",
+}
+
+# token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+PARAM = "PARAM"
+EOF = "EOF"
+
+_PUNCT = set("(),.;*")
+_OP_CHARS = set("<>=!")
+
+
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlError` on lexical errors."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "-" and text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos].lower()
+            kind = KEYWORD if word in KEYWORDS else IDENT
+            yield Token(kind, word, start)
+            continue
+        if ch.isdigit() or (
+            ch == "." and pos + 1 < length and text[pos + 1].isdigit()
+        ):
+            start = pos
+            seen_dot = False
+            while pos < length and (
+                text[pos].isdigit() or (text[pos] == "." and not seen_dot)
+            ):
+                if text[pos] == ".":
+                    # A trailing '.' followed by non-digit belongs to
+                    # qualified names, not numbers.
+                    if pos + 1 >= length or not text[pos + 1].isdigit():
+                        break
+                    seen_dot = True
+                pos += 1
+            literal = text[start:pos]
+            value = float(literal) if "." in literal else int(literal)
+            yield Token(NUMBER, value, start)
+            continue
+        if ch == "'":
+            start = pos
+            pos += 1
+            chunks: list[str] = []
+            while True:
+                if pos >= length:
+                    raise SqlError("unterminated string literal", start)
+                if text[pos] == "'":
+                    if pos + 1 < length and text[pos + 1] == "'":
+                        chunks.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                chunks.append(text[pos])
+                pos += 1
+            yield Token(STRING, "".join(chunks), start)
+            continue
+        if ch == "$":
+            start = pos
+            pos += 1
+            digits_start = pos
+            while pos < length and text[pos].isdigit():
+                pos += 1
+            if pos == digits_start:
+                raise SqlError("expected parameter number after '$'", start)
+            yield Token(PARAM, int(text[digits_start:pos]), start)
+            continue
+        if ch in _OP_CHARS:
+            start = pos
+            two = text[pos : pos + 2]
+            if two in ("<=", ">=", "<>", "!="):
+                yield Token(OP, "<>" if two == "!=" else two, start)
+                pos += 2
+                continue
+            if ch in "<>=":
+                yield Token(OP, ch, start)
+                pos += 1
+                continue
+            raise SqlError(f"unexpected character {ch!r}", start)
+        if ch in _PUNCT:
+            yield Token(PUNCT, ch, pos)
+            pos += 1
+            continue
+        if ch in "+-/%":
+            yield Token(OP, ch, pos)
+            pos += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", pos)
+    yield Token(EOF, None, length)

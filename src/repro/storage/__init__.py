@@ -1,0 +1,8 @@
+"""In-memory MPP storage: hash distribution, heap tables, OID-addressed
+leaf partitions."""
+
+from .distribution import segment_for, stable_hash
+from .partitioned import StorageManager
+from .table import TableStore
+
+__all__ = ["StorageManager", "TableStore", "segment_for", "stable_hash"]

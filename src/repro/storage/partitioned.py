@@ -1,0 +1,55 @@
+"""Storage manager: one :class:`TableStore` per catalog table.
+
+The paper assumes "given a logical partition OID the storage layer can
+locate and retrieve the tuples belonging to that partition" (Section 2.1);
+:meth:`StorageManager.scan_leaf` is exactly that contract, resolving a leaf
+OID to its owning table's store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..catalog import Catalog, TableDescriptor
+from ..errors import CatalogError
+from .table import TableStore
+
+
+class StorageManager:
+    """All table stores for one database instance."""
+
+    def __init__(self, catalog: Catalog, num_segments: int):
+        self.catalog = catalog
+        self.num_segments = num_segments
+        self._stores: dict[int, TableStore] = {}
+
+    def register(self, descriptor: TableDescriptor) -> TableStore:
+        if descriptor.oid in self._stores:
+            raise CatalogError(
+                f"storage for table {descriptor.name!r} already exists"
+            )
+        store = TableStore(descriptor, self.num_segments)
+        self._stores[descriptor.oid] = store
+        return store
+
+    def unregister(self, descriptor: TableDescriptor) -> None:
+        self._stores.pop(descriptor.oid, None)
+
+    def store(self, root_oid: int) -> TableStore:
+        try:
+            return self._stores[root_oid]
+        except KeyError:
+            raise CatalogError(f"no storage for OID {root_oid}") from None
+
+    def store_by_name(self, name: str) -> TableStore:
+        return self.store(self.catalog.table(name).oid)
+
+    def scan_leaf(self, segment: int, leaf_oid: int) -> Iterator[tuple]:
+        """Scan one leaf partition on one segment, addressed purely by OID."""
+        owner = self.catalog.owner_of_leaf(leaf_oid)
+        return self.store(owner.oid).scan_segment(segment, [leaf_oid])
+
+    def scan_table(
+        self, segment: int, root_oid: int, oids: Sequence[int] | None = None
+    ) -> Iterator[tuple]:
+        return self.store(root_oid).scan_segment(segment, oids)

@@ -1,0 +1,125 @@
+"""In-memory heap storage for one table across all segments.
+
+A :class:`TableStore` holds the rows of one catalog table.  Storage is
+addressed two ways, mirroring the engine's needs:
+
+* by **segment** — each segment only ever scans its local rows (Motion
+  operators move data between segments at query time);
+* by **leaf partition OID** — a DynamicScan retrieves exactly the leaves
+  whose OIDs its PartitionSelector produced.
+
+For an unpartitioned table all rows live under the root OID.  Replicated
+tables store a full copy of every row on every segment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..catalog import DistributionPolicy, TableDescriptor
+from ..errors import PartitionError
+from .distribution import segment_for
+
+
+class TableStore:
+    """Rows of one table, bucketed by (segment, leaf OID)."""
+
+    def __init__(self, descriptor: TableDescriptor, num_segments: int):
+        if num_segments <= 0:
+            raise ValueError("num_segments must be positive")
+        self.descriptor = descriptor
+        self.num_segments = num_segments
+        # _rows[segment][leaf_oid] -> list of row tuples
+        self._rows: list[dict[int, list[tuple]]] = [
+            {} for _ in range(num_segments)
+        ]
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, row: Sequence) -> None:
+        """Validate, route (``f_T``) and distribute one row.
+
+        Raises :class:`PartitionError` when the row maps to the invalid
+        partition ⊥ — no partition accepts its key values.
+        """
+        desc = self.descriptor
+        validated = desc.schema.validate_row(row)
+        if desc.is_partitioned:
+            leaf = desc.route_row(validated)
+            if leaf is None:
+                raise PartitionError(
+                    f"row {validated!r} maps to the invalid partition of "
+                    f"table {desc.name!r}"
+                )
+            oid = desc.leaf_oid(leaf)
+        else:
+            oid = desc.oid
+        for seg in self._target_segments(validated):
+            self._rows[seg].setdefault(oid, []).append(validated)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def _target_segments(self, row: tuple) -> range | list[int]:
+        dist = self.descriptor.distribution
+        if dist.kind == DistributionPolicy.REPLICATED:
+            return range(self.num_segments)
+        col_idx = self.descriptor.schema.column_index(dist.column)  # type: ignore[arg-type]
+        return [segment_for(row[col_idx], self.num_segments)]
+
+    def truncate(self) -> None:
+        for seg_rows in self._rows:
+            seg_rows.clear()
+
+    def delete_from_leaf(self, segment: int, oid: int, rows: list[tuple]) -> None:
+        """Remove specific rows (used by UPDATE's delete-then-insert)."""
+        bucket = self._rows[segment].get(oid)
+        if not bucket:
+            return
+        for row in rows:
+            bucket.remove(row)
+
+    # -- reads --------------------------------------------------------------
+
+    def scan_segment(self, segment: int, oids: Sequence[int] | None = None) -> Iterator[tuple]:
+        """Rows stored on ``segment``, restricted to the given leaf OIDs.
+
+        ``oids=None`` scans everything on the segment (root scan)."""
+        buckets = self._rows[segment]
+        if oids is None:
+            keys: Iterable[int] = sorted(buckets)
+        else:
+            keys = oids
+        for oid in keys:
+            yield from buckets.get(oid, ())
+
+    def scan_all(self, oids: Sequence[int] | None = None) -> Iterator[tuple]:
+        """Rows from every segment (for reference evaluation in tests).
+
+        Replicated tables would return duplicates across segments, so they
+        are read from segment 0 only.
+        """
+        if self.descriptor.distribution.kind == DistributionPolicy.REPLICATED:
+            yield from self.scan_segment(0, oids)
+            return
+        for seg in range(self.num_segments):
+            yield from self.scan_segment(seg, oids)
+
+    def leaf_row_count(self, oid: int) -> int:
+        if self.descriptor.distribution.kind == DistributionPolicy.REPLICATED:
+            return len(self._rows[0].get(oid, ()))
+        return sum(len(seg.get(oid, ())) for seg in self._rows)
+
+    def row_count(self) -> int:
+        if self.descriptor.distribution.kind == DistributionPolicy.REPLICATED:
+            return sum(len(rows) for rows in self._rows[0].values())
+        return sum(
+            len(rows) for seg in self._rows for rows in seg.values()
+        )
+
+    def segment_row_count(self, segment: int) -> int:
+        return sum(len(rows) for rows in self._rows[segment].values())

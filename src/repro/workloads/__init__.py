@@ -1,0 +1,7 @@
+"""Workload generators for the paper's experiments: TPC-H-like lineitem
+(Table 2, Figure 18a), TPC-DS-like star schema (Table 3, Figures 16-17),
+and the synthetic R/S pair (Figures 18b-c)."""
+
+from . import synthetic, tpcds, tpch
+
+__all__ = ["synthetic", "tpcds", "tpch"]

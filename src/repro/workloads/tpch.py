@@ -1,0 +1,125 @@
+"""TPC-H-like ``lineitem`` workload (paper Section 4.2 and 4.4.1).
+
+The paper's Table 2 uses a ``lineitem`` table with **7 years of data**
+partitioned four ways — 42 (two-monthly), 84 (monthly), 169 (bi-weekly),
+361 (weekly) — and measures the full-scan overhead of each scenario versus
+an unpartitioned table.  :func:`lineitem_scheme` splits the same 7-year
+``l_shipdate`` span into any requested number of equal-width ranges so the
+exact partition counts of the paper can be reproduced.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Iterator
+
+from ..catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    range_level,
+)
+from ..engine import Database
+from .. import types as t
+
+#: classic TPC-H date span: 7 years
+SHIPDATE_START = datetime.date(1992, 1, 1)
+SHIPDATE_END = datetime.date(1999, 1, 1)
+
+#: the paper's Table 2 partitioning scenarios
+TABLE2_SCENARIOS = {
+    42: "each part represents 2 months",
+    84: "partitioned monthly",
+    169: "partitioned bi-weekly",
+    361: "partitioned weekly",
+}
+
+RETURN_FLAGS = ("A", "N", "R")
+LINE_STATUSES = ("O", "F")
+
+
+def lineitem_schema() -> TableSchema:
+    return TableSchema.of(
+        ("l_orderkey", t.INT),
+        ("l_partkey", t.INT),
+        ("l_suppkey", t.INT),
+        ("l_linenumber", t.INT),
+        ("l_quantity", t.FLOAT),
+        ("l_extendedprice", t.FLOAT),
+        ("l_discount", t.FLOAT),
+        ("l_tax", t.FLOAT),
+        ("l_returnflag", t.TEXT),
+        ("l_linestatus", t.TEXT),
+        ("l_shipdate", t.DATE),
+    )
+
+
+def lineitem_scheme(num_parts: int) -> PartitionScheme:
+    """Split the 7-year ``l_shipdate`` span into ``num_parts`` equal-width
+    date ranges."""
+    total_days = (SHIPDATE_END - SHIPDATE_START).days
+    bounds = [
+        SHIPDATE_START + datetime.timedelta(days=round(i * total_days / num_parts))
+        for i in range(num_parts)
+    ]
+    bounds.append(SHIPDATE_END)
+    return PartitionScheme([range_level("l_shipdate", bounds)])
+
+
+def generate_lineitem(
+    row_count: int, seed: int = 1
+) -> Iterator[tuple]:
+    """Synthetic ``lineitem`` rows with ship dates uniform over the span."""
+    rng = random.Random(seed)
+    total_days = (SHIPDATE_END - SHIPDATE_START).days
+    for i in range(row_count):
+        quantity = float(rng.randint(1, 50))
+        price = round(rng.uniform(900.0, 105000.0), 2)
+        yield (
+            i // 4 + 1,  # orderkey: ~4 lines per order
+            rng.randint(1, 20000),
+            rng.randint(1, 1000),
+            i % 4 + 1,
+            quantity,
+            price,
+            round(rng.uniform(0.0, 0.1), 2),
+            round(rng.uniform(0.0, 0.08), 2),
+            rng.choice(RETURN_FLAGS),
+            rng.choice(LINE_STATUSES),
+            SHIPDATE_START
+            + datetime.timedelta(days=rng.randrange(total_days)),
+        )
+
+
+def build_lineitem_database(
+    num_parts: int | None,
+    row_count: int = 5000,
+    num_segments: int = 4,
+    seed: int = 1,
+    table_name: str = "lineitem",
+) -> Database:
+    """A database holding one ``lineitem`` table.
+
+    ``num_parts=None`` builds the unpartitioned baseline of Table 2.
+    """
+    db = Database(num_segments=num_segments)
+    scheme = lineitem_scheme(num_parts) if num_parts else None
+    db.create_table(
+        table_name,
+        lineitem_schema(),
+        distribution=DistributionPolicy.hashed("l_orderkey"),
+        partition_scheme=scheme,
+    )
+    db.insert(table_name, generate_lineitem(row_count, seed))
+    db.analyze()
+    return db
+
+
+def shipdate_for_fraction(fraction: float) -> datetime.date:
+    """The cutoff X such that ``l_shipdate < X`` selects roughly the given
+    fraction of the date span (Section 4.4.1's 1%..100% queries)."""
+    total_days = (SHIPDATE_END - SHIPDATE_START).days
+    return SHIPDATE_START + datetime.timedelta(
+        days=round(total_days * fraction)
+    )

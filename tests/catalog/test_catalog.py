@@ -1,0 +1,148 @@
+"""Catalog: DDL, OID assignment, leaf lookup, distribution policies."""
+
+import pytest
+
+from repro import types as t
+from repro.catalog import (
+    Catalog,
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.errors import CatalogError, PartitionError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog()
+
+
+SCHEMA = TableSchema.of(("a", t.INT), ("b", t.INT))
+
+
+def test_create_unpartitioned(catalog):
+    desc = catalog.create_table("t", SCHEMA)
+    assert not desc.is_partitioned
+    assert desc.num_leaves == 0
+    assert catalog.table("t") is desc
+    assert catalog.table_by_oid(desc.oid) is desc
+
+
+def test_default_distribution_is_first_column(catalog):
+    desc = catalog.create_table("t", SCHEMA)
+    assert desc.distribution == DistributionPolicy.hashed("a")
+
+
+def test_duplicate_table_rejected(catalog):
+    catalog.create_table("t", SCHEMA)
+    with pytest.raises(CatalogError):
+        catalog.create_table("t", SCHEMA)
+
+
+def test_unknown_table_and_oid(catalog):
+    with pytest.raises(CatalogError):
+        catalog.table("nope")
+    with pytest.raises(CatalogError):
+        catalog.table_by_oid(12345)
+
+
+def test_partitioned_table_gets_leaf_oids(catalog):
+    desc = catalog.create_table(
+        "p",
+        SCHEMA,
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 5)]),
+    )
+    assert desc.is_partitioned
+    assert desc.num_leaves == 5
+    oids = desc.all_leaf_oids()
+    assert len(set(oids)) == 5
+    assert desc.oid not in oids
+    for oid in oids:
+        assert catalog.owner_of_leaf(oid) is desc
+        assert desc.leaf_oid(desc.leaf_id(oid)) == oid
+
+
+def test_partition_key_must_be_a_column(catalog):
+    with pytest.raises(CatalogError):
+        catalog.create_table(
+            "p",
+            SCHEMA,
+            partition_scheme=PartitionScheme(
+                [uniform_int_level("missing", 0, 100, 5)]
+            ),
+        )
+
+
+def test_distribution_column_must_exist(catalog):
+    with pytest.raises(CatalogError):
+        catalog.create_table(
+            "t", SCHEMA, distribution=DistributionPolicy.hashed("zzz")
+        )
+
+
+def test_distribution_policy_validation():
+    with pytest.raises(CatalogError):
+        DistributionPolicy("hashed")  # missing column
+    with pytest.raises(CatalogError):
+        DistributionPolicy("replicated", "a")
+    with pytest.raises(CatalogError):
+        DistributionPolicy("round_robin")
+
+
+def test_route_row(catalog):
+    desc = catalog.create_table(
+        "p",
+        SCHEMA,
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 5)]),
+    )
+    assert desc.route_row((1, 0)) == (0,)
+    assert desc.route_row((1, 99)) == (4,)
+    assert desc.route_row((1, 100)) is None
+
+
+def test_select_leaf_oids_unrestricted(catalog):
+    desc = catalog.create_table(
+        "p",
+        SCHEMA,
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 5)]),
+    )
+    assert desc.select_leaf_oids() == desc.all_leaf_oids()
+
+
+def test_drop_table_releases_leaves(catalog):
+    desc = catalog.create_table(
+        "p",
+        SCHEMA,
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 5)]),
+    )
+    leaf = desc.all_leaf_oids()[0]
+    catalog.drop_table("p")
+    assert not catalog.has_table("p")
+    with pytest.raises(CatalogError):
+        catalog.owner_of_leaf(leaf)
+
+
+def test_leaf_lookup_errors(catalog):
+    desc = catalog.create_table(
+        "p",
+        SCHEMA,
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 5)]),
+    )
+    with pytest.raises(PartitionError):
+        desc.leaf_oid((99,))
+    with pytest.raises(PartitionError):
+        desc.leaf_id(desc.oid)
+
+
+def test_schema_validation():
+    with pytest.raises(CatalogError):
+        TableSchema.of(("a", t.INT), ("a", t.TEXT))
+    schema = TableSchema.of(("a", t.INT), ("b", t.TEXT))
+    assert schema.column_index("b") == 1
+    assert schema.column_names == ("a", "b")
+    assert schema.validate_row([1, "x"]) == (1, "x")
+    with pytest.raises(CatalogError):
+        schema.validate_row([1])
+    with pytest.raises(Exception):
+        schema.validate_row(["not-int", "x"])

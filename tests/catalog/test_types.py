@@ -1,0 +1,91 @@
+"""Column types, date helpers, value validation."""
+
+import datetime
+
+import pytest
+
+from repro import types as t
+from repro.errors import ReproError
+from repro.types import (
+    DataType,
+    TypeKind,
+    TypeMismatchError,
+    add_months,
+    date_value,
+    infer_type,
+)
+
+
+class TestDataType:
+    def test_interning(self):
+        assert DataType(TypeKind.INT) is t.INT
+        assert DataType(TypeKind.DATE) is t.DATE
+
+    def test_int_validation(self):
+        assert t.INT.validate(5) == 5
+        assert t.INT.validate(None) is None
+        with pytest.raises(TypeMismatchError):
+            t.INT.validate("5")
+        with pytest.raises(TypeMismatchError):
+            t.INT.validate(True)  # bools are not ints here
+
+    def test_float_validation_coerces_ints(self):
+        assert t.FLOAT.validate(5) == 5.0
+        assert isinstance(t.FLOAT.validate(5), float)
+        with pytest.raises(TypeMismatchError):
+            t.FLOAT.validate("x")
+
+    def test_text_validation(self):
+        assert t.TEXT.validate("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            t.TEXT.validate(1)
+
+    def test_date_validation_accepts_strings(self):
+        day = datetime.date(2013, 10, 1)
+        assert t.DATE.validate(day) == day
+        assert t.DATE.validate("2013-10-01") == day
+        assert t.DATE.validate("10-01-2013") == day
+        with pytest.raises(TypeMismatchError):
+            t.DATE.validate(20131001)
+        with pytest.raises(TypeMismatchError):
+            t.DATE.validate(datetime.datetime(2013, 10, 1, 12))
+
+    def test_bool_validation(self):
+        assert t.BOOL.validate(True) is True
+        with pytest.raises(TypeMismatchError):
+            t.BOOL.validate(1)
+
+    def test_is_numeric(self):
+        assert t.INT.is_numeric and t.FLOAT.is_numeric
+        assert not t.TEXT.is_numeric and not t.DATE.is_numeric
+
+
+class TestDateHelpers:
+    def test_date_value_both_spellings(self):
+        assert date_value("2013-10-01") == datetime.date(2013, 10, 1)
+        assert date_value("10-01-2013") == datetime.date(2013, 10, 1)
+
+    def test_date_value_errors(self):
+        for bad in ("2013/10/01", "oct-1-2013", "2013-10", "13-45-2013"):
+            with pytest.raises(ReproError):
+                date_value(bad)
+
+    def test_add_months(self):
+        assert add_months(datetime.date(2012, 1, 31), 1) == datetime.date(
+            2012, 2, 29
+        )  # clamped, leap year
+        assert add_months(datetime.date(2012, 11, 15), 2) == datetime.date(
+            2013, 1, 15
+        )
+        assert add_months(datetime.date(2012, 3, 1), -1) == datetime.date(
+            2012, 2, 1
+        )
+
+    def test_infer_type(self):
+        assert infer_type(True) is t.BOOL
+        assert infer_type(1) is t.INT
+        assert infer_type(1.5) is t.FLOAT
+        assert infer_type("x") is t.TEXT
+        assert infer_type(datetime.date(2020, 1, 1)) is t.DATE
+        with pytest.raises(ReproError):
+            infer_type([1, 2])

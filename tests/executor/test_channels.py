@@ -1,0 +1,45 @@
+"""OID channel protocol: producer-before-consumer enforcement."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.executor.channels import ChannelRegistry, OidChannel
+
+
+def test_push_consume_roundtrip():
+    channel = OidChannel(1, 0)
+    channel.push(30)
+    channel.push(10)
+    channel.push(30)  # duplicates collapse
+    channel.close()
+    assert channel.consume() == [10, 30]
+
+
+def test_consume_before_close_raises():
+    channel = OidChannel(1, 0)
+    channel.push(10)
+    with pytest.raises(ChannelError, match="before its PartitionSelector"):
+        channel.consume()
+
+
+def test_push_after_close_raises():
+    channel = OidChannel(1, 0)
+    channel.close()
+    with pytest.raises(ChannelError, match="closed"):
+        channel.push(10)
+
+
+def test_empty_selection_is_valid():
+    channel = OidChannel(1, 0)
+    channel.close()
+    assert channel.consume() == []
+
+
+def test_registry_keys_by_scan_and_segment():
+    registry = ChannelRegistry()
+    a = registry.channel(1, 0)
+    b = registry.channel(1, 1)
+    c = registry.channel(2, 0)
+    assert a is registry.channel(1, 0)
+    assert a is not b and a is not c
+    assert len(registry.channels()) == 3

@@ -1,0 +1,76 @@
+"""The interactive shell session logic (driven without a terminal)."""
+
+import pytest
+
+from repro.cli import ReplSession
+
+
+@pytest.fixture()
+def session() -> ReplSession:
+    repl = ReplSession()
+    repl.handle_line("\\demo")
+    return repl
+
+
+def test_demo_and_query(session):
+    output = session.handle_line(
+        "SELECT avg(amount) FROM orders "
+        "WHERE date BETWEEN '10-01-2013' AND '12-31-2013';"
+    )
+    assert "avg" in output
+    assert "partitions scanned: 3" in output
+    assert "(1 rows)" in output
+
+
+def test_multiline_statement(session):
+    assert session.handle_line("SELECT count(*)") == ""
+    assert session.prompt != "repro=# "
+    output = session.handle_line("FROM orders;")
+    assert "5000" in output
+
+
+def test_blank_line_submits(session):
+    session.handle_line("SELECT count(*) FROM date_dim")
+    output = session.handle_line("")
+    assert "730" in output
+
+
+def test_describe(session):
+    listing = session.handle_line("\\d")
+    assert "orders" in listing and "24 parts" in listing
+    detail = session.handle_line("\\d orders")
+    assert "date" in detail and "leaves" in detail
+    assert "unknown table" in session.handle_line("\\d nope")
+
+
+def test_explain_and_optimizer_switch(session):
+    plan = session.handle_line("\\explain SELECT count(*) FROM orders;")
+    assert "DynamicScan" in plan
+    assert "planner" in session.handle_line("\\optimizer planner")
+    plan = session.handle_line("\\explain SELECT count(*) FROM orders")
+    assert "LeafScan" in plan
+    assert "unknown optimizer" in session.handle_line("\\optimizer foo")
+
+
+def test_timing_toggle(session):
+    assert "on" in session.handle_line("\\timing")
+    output = session.handle_line("SELECT count(*) FROM orders;")
+    assert "time:" in output
+
+
+def test_errors_are_reported_not_raised(session):
+    assert "error" in session.handle_line("SELECT zzz FROM orders;")
+    assert "unknown command" in session.handle_line("\\frobnicate")
+
+
+def test_quit():
+    repl = ReplSession()
+    assert repl.handle_line("\\q") == "bye"
+    assert repl.done
+
+
+def test_help_and_empty():
+    repl = ReplSession()
+    assert "Meta commands" in repl.handle_line("\\help")
+    assert repl.handle_line("") == ""
+    assert "no tables" in repl.handle_line("\\d")

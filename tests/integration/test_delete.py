@@ -1,0 +1,98 @@
+"""DELETE statements: plain, partition-pruned, and DELETE ... USING."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.physical.ops import Delete, GatherMotion
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database(num_segments=3)
+    database.create_table(
+        "r",
+        TableSchema.of(("a", t.INT), ("b", t.INT)),
+        distribution=DistributionPolicy.hashed("a"),
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 1000, 10)]),
+    )
+    database.create_table(
+        "s",
+        TableSchema.of(("x", t.INT), ("y", t.INT)),
+        distribution=DistributionPolicy.hashed("x"),
+    )
+    rng = random.Random(5)
+    database.insert("r", [(i, rng.randrange(1000)) for i in range(300)])
+    database.insert("s", [(i * 3, 0) for i in range(40)])
+    database.analyze()
+    return database
+
+
+def test_delete_with_partition_pruning(db):
+    before = db.sql("SELECT count(*) FROM r WHERE b < 100").rows[0][0]
+    result = db.sql("DELETE FROM r WHERE b < 100")
+    assert result.rows == [(before,)]
+    # the DELETE itself only scanned the single qualifying partition
+    assert result.partitions_scanned("r") == 1
+    assert db.sql("SELECT count(*) FROM r WHERE b < 100").rows == [(0,)]
+    assert db.sql("SELECT count(*) FROM r").rows == [(300 - before,)]
+
+
+def test_delete_plan_shape(db):
+    plan = db.plan("DELETE FROM r WHERE b < 100")
+    assert isinstance(plan.root, Delete)
+    assert isinstance(plan.root.children[0], GatherMotion)
+
+
+def test_delete_using_join(db):
+    matching = db.sql(
+        "SELECT count(*) FROM r, s WHERE r.a = s.x"
+    ).rows[0][0]
+    result = db.sql("DELETE FROM r USING s WHERE r.a = s.x")
+    assert result.rows == [(matching,)]
+    assert db.sql(
+        "SELECT count(*) FROM r, s WHERE r.a = s.x"
+    ).rows == [(0,)]
+
+
+def test_delete_nothing(db):
+    result = db.sql("DELETE FROM r WHERE b < 0")
+    assert result.rows == [(0,)]
+    assert db.sql("SELECT count(*) FROM r").rows == [(300,)]
+
+
+def test_delete_whole_table(db):
+    result = db.sql("DELETE FROM r")
+    assert result.rows == [(300,)]
+    assert db.sql("SELECT count(*) FROM r").rows == [(0,)]
+
+
+def test_delete_planner_agrees(db):
+    orca_count = db.sql(
+        "SELECT count(*) FROM r WHERE b BETWEEN 100 AND 299"
+    ).rows[0][0]
+    result = db.sql(
+        "DELETE FROM r WHERE b BETWEEN 100 AND 299", optimizer="planner"
+    )
+    assert result.rows == [(orca_count,)]
+
+
+def test_delete_duplicate_join_matches_once():
+    """A USING join matching one target row several times deletes it once."""
+    database = Database(num_segments=2)
+    database.create_table("a", TableSchema.of(("k", t.INT), ("v", t.INT)))
+    database.create_table("b", TableSchema.of(("k", t.INT), ("w", t.INT)))
+    database.insert("a", [(1, 10), (2, 20)])
+    database.insert("b", [(1, 0), (1, 1), (1, 2)])  # three matches for k=1
+    database.analyze()
+    result = database.sql("DELETE FROM a USING b WHERE a.k = b.k")
+    assert result.rows == [(1,)]
+    assert database.sql("SELECT count(*) FROM a").rows == [(1,)]

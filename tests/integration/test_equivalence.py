@@ -1,0 +1,132 @@
+"""Property-based cross-checks: pruned distributed execution must return
+exactly what a naive serial reference evaluation returns, and both
+optimizers must agree with each other."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from tests.conftest import approx_rows
+
+ROWS = 400
+DOMAIN = 1000
+PARTS = 8
+
+
+def _build_db() -> Database:
+    db = Database(num_segments=3)
+    db.create_table(
+        "facts",
+        TableSchema.of(("id", t.INT), ("key", t.INT), ("val", t.INT)),
+        distribution=DistributionPolicy.hashed("id"),
+        partition_scheme=PartitionScheme(
+            [uniform_int_level("key", 0, DOMAIN, PARTS)]
+        ),
+    )
+    db.create_table(
+        "dim",
+        TableSchema.of(("key", t.INT), ("grp", t.INT)),
+        distribution=DistributionPolicy.hashed("key"),
+    )
+    rng = random.Random(99)
+    db.insert(
+        "facts",
+        [
+            (i, rng.randrange(DOMAIN), rng.randrange(50))
+            for i in range(ROWS)
+        ],
+    )
+    db.insert("dim", [(k, k % 10) for k in range(0, DOMAIN, 7)])
+    db.analyze()
+    return db
+
+
+DB = _build_db()
+FACT_ROWS = list(DB.storage.store_by_name("facts").scan_all())
+DIM_ROWS = list(DB.storage.store_by_name("dim").scan_all())
+
+
+bounds = st.integers(min_value=-50, max_value=DOMAIN + 50)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(bounds, st.integers(min_value=0, max_value=400))
+def test_range_query_matches_reference(lo, width):
+    hi = lo + width
+    sql = f"SELECT id, val FROM facts WHERE key BETWEEN {lo} AND {hi}"
+    result = DB.sql(sql)
+    expected = sorted(
+        (row[0], row[2]) for row in FACT_ROWS if lo <= row[1] <= hi
+    )
+    assert sorted(result.rows) == expected
+    # soundness bound: never scan more partitions than exist
+    assert result.partitions_scanned("facts") <= PARTS
+
+
+@settings(max_examples=25, deadline=None)
+@given(bounds)
+def test_pruning_never_changes_results(cutoff):
+    sql = f"SELECT count(*), sum(val) FROM facts WHERE key < {cutoff}"
+    pruned = DB.sql(sql)
+    unpruned = DB.sql(sql, enable_partition_elimination=False)
+    assert pruned.rows == unpruned.rows
+    assert (
+        pruned.partitions_scanned("facts")
+        <= unpruned.partitions_scanned("facts")
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=9))
+def test_join_dpe_matches_reference(grp):
+    sql = (
+        "SELECT count(*) FROM facts f, dim d "
+        f"WHERE f.key = d.key AND d.grp = {grp}"
+    )
+    result = DB.sql(sql)
+    keys = {row[0] for row in DIM_ROWS if row[1] == grp}
+    expected = sum(1 for row in FACT_ROWS if row[1] in keys)
+    assert result.rows == [(expected,)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounds, st.integers(min_value=0, max_value=9))
+def test_optimizers_agree(cutoff, grp):
+    queries = [
+        f"SELECT id FROM facts WHERE key < {cutoff} AND val > 10",
+        (
+            "SELECT d.grp, count(*) AS cnt FROM facts f, dim d "
+            f"WHERE f.key = d.key AND d.grp = {grp} GROUP BY d.grp"
+        ),
+    ]
+    for sql in queries:
+        orca = DB.sql(sql)
+        planner = DB.sql(sql, optimizer="planner")
+        assert approx_rows(orca.rows, planner.rows), sql
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=DOMAIN - 1),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_in_list_pruning(keys):
+    values = ", ".join(str(k) for k in keys)
+    sql = f"SELECT count(*) FROM facts WHERE key IN ({values})"
+    result = DB.sql(sql)
+    expected = sum(1 for row in FACT_ROWS if row[1] in set(keys))
+    assert result.rows == [(expected,)]
+    distinct_parts = {k * PARTS // DOMAIN for k in keys}
+    assert result.partitions_scanned("facts") <= len(distinct_parts)

@@ -1,0 +1,74 @@
+"""INSERT ... SELECT: loading through the planner/executor pipeline with
+re-routing through ``f_T``."""
+
+import pytest
+
+from repro import Database, ReproError
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database(num_segments=2)
+    database.create_table(
+        "src", TableSchema.of(("a", t.INT), ("b", t.INT))
+    )
+    database.create_table(
+        "dst",
+        TableSchema.of(("a", t.INT), ("b", t.INT)),
+        distribution=DistributionPolicy.hashed("a"),
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 4)]),
+    )
+    database.insert("src", [(i, i % 100) for i in range(60)])
+    database.analyze()
+    return database
+
+
+def test_insert_select_routes_partitions(db):
+    result = db.sql("INSERT INTO dst SELECT a, b FROM src WHERE b < 50")
+    assert result.rows == [(50,)]  # b ranges over 0..59 in src
+    stats_query = db.sql("SELECT count(*) FROM dst WHERE b < 25")
+    assert stats_query.rows == [(25,)]
+    assert stats_query.partitions_scanned("dst") == 1
+
+
+def test_insert_select_with_expressions(db):
+    db.sql("INSERT INTO dst SELECT a + 1000, b FROM src WHERE b = 7")
+    rows = list(db.storage.store_by_name("dst").scan_all())
+    assert all(a >= 1000 for a, _ in rows)
+
+
+def test_insert_select_column_count_checked(db):
+    with pytest.raises(ReproError):
+        db.sql("INSERT INTO dst SELECT a FROM src")
+
+
+def test_insert_select_type_checked(db):
+    db.create_table("texts", TableSchema.of(("s", t.TEXT), ("n", t.INT)))
+    db.sql("INSERT INTO texts VALUES ('x', 1)")
+    with pytest.raises(Exception):
+        db.sql("INSERT INTO dst SELECT s, n FROM texts")
+
+
+def test_insert_select_out_of_range_partition_rejected(db):
+    from repro.errors import PartitionError
+
+    db.sql("INSERT INTO src VALUES (1, 999)")
+    with pytest.raises(PartitionError):
+        db.sql("INSERT INTO dst SELECT a, b FROM src WHERE b = 999")
+
+
+def test_insert_select_from_partitioned_table(db):
+    db.sql("INSERT INTO dst SELECT a, b FROM src")
+    result = db.sql(
+        "INSERT INTO src SELECT a, b FROM dst WHERE b BETWEEN 25 AND 49"
+    )
+    assert result.rows[0][0] > 0
+    # the SELECT half used partition elimination
+    assert result.tracker.partitions_scanned("dst") == 1

@@ -1,0 +1,124 @@
+"""End-to-end runs of the paper's motivating queries (Figures 1-6)."""
+
+import datetime
+
+import pytest
+
+from tests.conftest import ORDERS_START, approx_rows
+
+
+def _reference_orders(db, lo, hi):
+    """Serial reference evaluation against raw storage."""
+    rows = list(db.storage.store_by_name("orders").scan_all())
+    picked = [amount for _, amount, day in rows if lo <= day <= hi]
+    return sum(picked) / len(picked)
+
+
+def test_figure_2_static_elimination(orders_db):
+    """Q4-2013 summary touches the last 3 of 24 monthly partitions."""
+    result = orders_db.sql(
+        "SELECT avg(amount) FROM orders "
+        "WHERE date BETWEEN '10-01-2013' AND '12-31-2013'"
+    )
+    expected = _reference_orders(
+        orders_db, datetime.date(2013, 10, 1), datetime.date(2013, 12, 31)
+    )
+    assert result.rows[0][0] == pytest.approx(expected)
+    assert result.partitions_scanned("orders") == 3
+
+
+def test_figure_4_dynamic_elimination(orders_db):
+    """The rewritten star-schema form: partitions are only known after
+    evaluating the dimension subquery — still 3 of 24 scanned."""
+    result = orders_db.sql(
+        "SELECT avg(amount) FROM orders_fk WHERE date_id IN "
+        "(SELECT date_id FROM date_dim "
+        " WHERE year = 2013 AND month BETWEEN 10 AND 12)"
+    )
+    assert result.partitions_scanned("orders_fk") == 3
+
+    baseline = orders_db.sql(
+        "SELECT avg(amount) FROM orders_fk WHERE date_id IN "
+        "(SELECT date_id FROM date_dim "
+        " WHERE year = 2013 AND month BETWEEN 10 AND 12)",
+        enable_partition_elimination=False,
+    )
+    assert baseline.partitions_scanned("orders_fk") == 24
+    assert result.rows[0][0] == pytest.approx(baseline.rows[0][0])
+
+
+def test_figure_6_three_way_join(orders_db):
+    """The Figure 6 shape: fact + two dimensions, one filter per dim."""
+    sql = (
+        "SELECT count(*) FROM orders_fk s, date_dim d "
+        "WHERE d.month BETWEEN 10 AND 12 AND d.date_id = s.date_id "
+        "AND s.order_id < 1000"
+    )
+    result = orders_db.sql(sql)
+    reference = orders_db.sql(sql, enable_partition_elimination=False)
+    assert result.rows == reference.rows
+    assert result.partitions_scanned("orders_fk") < 24
+
+
+def test_full_scan_touches_all_partitions(orders_db):
+    result = orders_db.sql("SELECT count(*) FROM orders")
+    assert result.rows == [(2400,)]
+    assert result.partitions_scanned("orders") == 24
+
+
+def test_equality_selects_single_partition(orders_db):
+    result = orders_db.sql(
+        "SELECT count(*) FROM orders WHERE date = '06-15-2012'"
+    )
+    assert result.partitions_scanned("orders") == 1
+
+
+def test_empty_selection(orders_db):
+    """A predicate outside every partition selects nothing but still
+    returns a correct (empty/zero) result."""
+    result = orders_db.sql(
+        "SELECT count(*) FROM orders WHERE date > '01-01-2020'"
+    )
+    assert result.rows == [(0,)]
+    assert result.partitions_scanned("orders") == 0
+
+
+def test_multilevel_queries(multilevel_db):
+    """Figure 9/10: predicates on either or both levels."""
+    both = multilevel_db.sql(
+        "SELECT count(*) FROM orders2 "
+        "WHERE date_id BETWEEN 10 AND 19 AND region = 'Region 1'"
+    )
+    assert both.partitions_scanned("orders2") == 1
+
+    date_only = multilevel_db.sql(
+        "SELECT count(*) FROM orders2 WHERE date_id BETWEEN 10 AND 19"
+    )
+    assert date_only.partitions_scanned("orders2") == 2
+
+    region_only = multilevel_db.sql(
+        "SELECT count(*) FROM orders2 WHERE region = 'Region 2'"
+    )
+    assert region_only.partitions_scanned("orders2") == 24
+
+    total = multilevel_db.sql("SELECT count(*) FROM orders2")
+    assert total.partitions_scanned("orders2") == 48
+    assert (
+        both.rows[0][0] + region_only.rows[0][0] <= total.rows[0][0]
+    )
+
+
+def test_planner_and_orca_agree_on_paper_queries(orders_db):
+    queries = [
+        "SELECT avg(amount) FROM orders "
+        "WHERE date BETWEEN '10-01-2013' AND '12-31-2013'",
+        "SELECT count(*) FROM orders WHERE date = '06-15-2012'",
+        "SELECT avg(amount) FROM orders_fk WHERE date_id IN "
+        "(SELECT date_id FROM date_dim WHERE year = 2013 AND month = 11)",
+        "SELECT count(*) FROM orders_fk s, date_dim d "
+        "WHERE d.date_id = s.date_id AND d.month = 7",
+    ]
+    for sql in queries:
+        orca = orders_db.sql(sql)
+        planner = orders_db.sql(sql, optimizer="planner")
+        assert approx_rows(orca.rows, planner.rows), sql

@@ -1,0 +1,65 @@
+"""Prepared statements (Section 1): parameter values are only available at
+run time, so partition selection must be deferred — one plan, many
+executions, each scanning only the parameter's partitions."""
+
+import pytest
+
+from repro.physical.ops import Append, DynamicScan, PartitionSelector
+
+
+def test_one_plan_many_parameter_bindings(rs_db):
+    plan = rs_db.plan("SELECT count(*) FROM r WHERE b = $1", parameter_count=1)
+    selector = next(
+        op for op in plan.walk() if isinstance(op, PartitionSelector)
+    )
+    assert selector.spec.has_predicates  # the $1 predicate is kept
+
+    reference = {
+        value: rs_db.sql(f"SELECT count(*) FROM r WHERE b = {value}").rows
+        for value in (0, 4321, 9999)
+    }
+    for value, expected in reference.items():
+        result = rs_db.execute_plan(plan, params=[value])
+        assert result.rows == expected
+        assert result.partitions_scanned("r") == 1
+
+
+def test_parameter_range_predicate(rs_db):
+    plan = rs_db.plan("SELECT count(*) FROM r WHERE b < $1", parameter_count=1)
+    narrow = rs_db.execute_plan(plan, params=[500])
+    wide = rs_db.execute_plan(plan, params=[9500])
+    assert narrow.partitions_scanned("r") == 1
+    assert wide.partitions_scanned("r") == 10
+    assert narrow.rows[0][0] <= wide.rows[0][0]
+
+
+def test_planner_cannot_prune_parameters(rs_db):
+    """The baseline lists (and scans) every partition for a parameterised
+    predicate — its elimination is plan-time-only."""
+    plan = rs_db.plan(
+        "SELECT count(*) FROM r WHERE b = $1",
+        optimizer="planner",
+        parameter_count=1,
+    )
+    append = next(op for op in plan.walk() if isinstance(op, Append))
+    assert len(append.children) == 10
+    orca_result = rs_db.sql("SELECT count(*) FROM r WHERE b = $1", params=[42])
+    planner_result = rs_db.execute_plan(plan, params=[42])
+    assert orca_result.rows == planner_result.rows
+    assert orca_result.partitions_scanned("r") == 1
+    assert planner_result.partitions_scanned("r") == 10
+
+
+def test_parameter_in_projection(rs_db):
+    result = rs_db.sql(
+        "SELECT a + $1 FROM r WHERE b < 100", params=[1000]
+    )
+    assert all(row[0] >= 1000 for row in result.rows)
+
+
+def test_missing_parameter_errors(rs_db):
+    from repro.errors import ExecutionError
+
+    plan = rs_db.plan("SELECT count(*) FROM r WHERE b = $2", parameter_count=2)
+    with pytest.raises(ExecutionError):
+        rs_db.execute_plan(plan, params=[1])

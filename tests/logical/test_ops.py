@@ -1,0 +1,130 @@
+"""Logical operators: layouts, traversal, explain text."""
+
+import pytest
+
+from repro import types as t
+from repro.catalog import (
+    Catalog,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.expr.ast import AggCall, ColumnRef, Comparison, Literal
+from repro.logical.ops import (
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUpdate,
+    partitioned_gets,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    catalog = Catalog()
+    part = catalog.create_table(
+        "p",
+        TableSchema.of(("k", t.INT), ("v", t.INT)),
+        partition_scheme=PartitionScheme([uniform_int_level("k", 0, 10, 2)]),
+    )
+    plain = catalog.create_table(
+        "q", TableSchema.of(("x", t.INT), ("y", t.TEXT))
+    )
+    return part, plain
+
+
+def test_get_layout_is_alias_qualified(tables):
+    part, _ = tables
+    get = LogicalGet(part, "alias_p")
+    layout = get.output_layout()
+    assert layout.slots == (("alias_p", "k"), ("alias_p", "v"))
+
+
+def test_select_and_sort_preserve_layout(tables):
+    part, _ = tables
+    get = LogicalGet(part, "p")
+    select = LogicalSelect(get, Comparison("<", ColumnRef("k", "p"), Literal(3)))
+    assert select.output_layout() == get.output_layout()
+    sort = LogicalSort(select, [(ColumnRef("k", "p"), True)])
+    assert sort.output_layout() == get.output_layout()
+
+
+def test_project_layout(tables):
+    part, _ = tables
+    project = LogicalProject(
+        LogicalGet(part, "p"), [(ColumnRef("k", "p"), "key_out")]
+    )
+    assert project.output_layout().slots == ((None, "key_out"),)
+
+
+def test_join_layouts(tables):
+    part, plain = tables
+    left = LogicalGet(part, "p")
+    right = LogicalGet(plain, "q")
+    predicate = Comparison("=", ColumnRef("k", "p"), ColumnRef("x", "q"))
+    inner = LogicalJoin("inner", left, right, predicate)
+    assert len(inner.output_layout()) == 4
+    semi = LogicalJoin("semi", left, right, predicate)
+    assert semi.output_layout() == left.output_layout()
+    with pytest.raises(ValueError):
+        LogicalJoin("outer", left, right, predicate)
+
+
+def test_group_by_layout(tables):
+    part, _ = tables
+    group = LogicalGroupBy(
+        LogicalGet(part, "p"),
+        [ColumnRef("k", "p")],
+        [(AggCall("sum", ColumnRef("v", "p")), "total")],
+    )
+    assert group.output_layout().slots == (("p", "k"), (None, "total"))
+
+
+def test_update_layout(tables):
+    part, _ = tables
+    update = LogicalUpdate(
+        LogicalGet(part, "p"), part, "p", [("v", Literal(1))]
+    )
+    assert update.output_layout().slots == ((None, "updated"),)
+
+
+def test_walk_and_partitioned_gets(tables):
+    part, plain = tables
+    tree = LogicalLimit(
+        LogicalJoin(
+            "inner",
+            LogicalGet(part, "p"),
+            LogicalGet(plain, "q"),
+            Comparison("=", ColumnRef("k", "p"), ColumnRef("x", "q")),
+        ),
+        5,
+    )
+    assert len(list(tree.walk())) == 4
+    gets = partitioned_gets(tree)
+    assert [g.alias for g in gets] == ["p"]
+
+
+def test_explain_mentions_operators(tables):
+    part, _ = tables
+    tree = LogicalSelect(
+        LogicalGet(part, "p"), Comparison("<", ColumnRef("k", "p"), Literal(3))
+    )
+    text = tree.explain()
+    assert "Select" in text and "Get" in text and "2 parts" in text
+
+
+def test_with_children_shallow_copy(tables):
+    part, plain = tables
+    join = LogicalJoin(
+        "inner",
+        LogicalGet(part, "p"),
+        LogicalGet(plain, "q"),
+        None,
+    )
+    swapped = join.with_children((join.right, join.left))
+    assert swapped.left is join.right
+    assert join.left is not swapped.left  # original untouched

@@ -1,0 +1,31 @@
+"""Cost model sanity: monotonicity and the knobs the benches rely on."""
+
+import pytest
+
+from repro.optimizer.cost import INFINITE, CostModel
+
+
+def test_sort_cost_monotone_and_superlinear():
+    model = CostModel()
+    small = model.sort_cost(100)
+    large = model.sort_cost(10_000)
+    assert large > small
+    # n log n: 100x rows should cost more than 100x
+    assert large > 100 * small
+
+
+def test_sort_cost_degenerate():
+    model = CostModel()
+    assert model.sort_cost(0) > 0
+    assert model.sort_cost(1) > 0
+
+
+def test_dpe_fraction_is_tunable():
+    optimistic = CostModel(dpe_fraction=0.01)
+    pessimistic = CostModel(dpe_fraction=0.99)
+    assert optimistic.dpe_fraction < pessimistic.dpe_fraction
+
+
+def test_infinite_sentinel():
+    assert INFINITE == float("inf")
+    assert 10**12 < INFINITE

@@ -1,0 +1,144 @@
+"""Memo internals: copy-in structure, logical properties, deduplication."""
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.logical.ops import LogicalGet, LogicalJoin
+from repro.optimizer.memo import Memo
+from repro.optimizer.rules import explore, implement
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    database = Database(num_segments=2)
+    database.create_table(
+        "p",
+        TableSchema.of(("k", t.INT), ("v", t.INT)),
+        distribution=DistributionPolicy.hashed("k"),
+        partition_scheme=PartitionScheme([uniform_int_level("k", 0, 10, 2)]),
+    )
+    database.create_table(
+        "q", TableSchema.of(("x", t.INT), ("y", t.INT))
+    )
+    database.insert("p", [(i % 10, i) for i in range(40)])
+    database.insert("q", [(i, i) for i in range(20)])
+    database.analyze()
+    return database
+
+
+def _memo_for(db, sql) -> Memo:
+    memo = Memo(db.stats)
+    memo.copy_in(db.bind(sql))
+    return memo
+
+
+def test_copy_in_assigns_part_scan_ids(db):
+    memo = _memo_for(db, "SELECT * FROM p, q WHERE p.k = q.x")
+    assert list(memo.part_scans) == [1]
+    table, alias = memo.part_scans[1]
+    assert table.name == "p" and alias == "p"
+
+
+def test_consumer_specs_propagate_upward(db):
+    memo = _memo_for(db, "SELECT * FROM p, q WHERE p.k = q.x")
+    root = memo.groups[-1]
+    assert root.consumer_ids == {1}
+    get_groups = [
+        g
+        for g in memo
+        if any(isinstance(ge.op, LogicalGet) for ge in g.logical_exprs())
+    ]
+    partitioned = [g for g in get_groups if g.consumer_ids]
+    unpartitioned = [g for g in get_groups if not g.consumer_ids]
+    assert len(partitioned) == 1 and len(unpartitioned) == 1
+
+
+def test_aliases_and_layouts(db):
+    memo = _memo_for(db, "SELECT * FROM p a1, q a2 WHERE a1.k = a2.x")
+    join_group = next(
+        g
+        for g in memo
+        if any(isinstance(ge.op, LogicalJoin) for ge in g.logical_exprs())
+    )
+    assert join_group.aliases == {"a1", "a2"}
+    slot_names = [name for _, name in join_group.layout.slots]
+    assert "k" in slot_names and "x" in slot_names
+
+
+def test_estimates_scale_with_filters(db):
+    full = _memo_for(db, "SELECT * FROM p")
+    filtered = _memo_for(db, "SELECT * FROM p WHERE v = 3")
+    # compare Get-group vs Select-group estimates through the root project
+    assert filtered.groups[-1].estimate.rows < full.groups[-1].estimate.rows
+
+
+def test_duplicate_gexprs_rejected(db):
+    memo = _memo_for(db, "SELECT * FROM p, q WHERE p.k = q.x")
+    group = memo.groups[-1]
+    before = len(group.gexprs)
+    gexpr = group.gexprs[0]
+    assert group.add(gexpr) is False
+    assert len(group.gexprs) == before
+
+
+def test_commutativity_is_idempotent(db):
+    memo = _memo_for(db, "SELECT * FROM p, q WHERE p.k = q.x")
+    explore(memo)
+    counts = [len(g.gexprs) for g in memo]
+    explore(memo)  # no growth on the second run
+    assert [len(g.gexprs) for g in memo] == counts
+
+
+def test_implement_adds_physical_alternatives(db):
+    memo = _memo_for(db, "SELECT * FROM p, q WHERE p.k = q.x")
+    explore(memo)
+    implement(memo)
+    join_group = next(
+        g
+        for g in memo
+        if any(isinstance(ge.op, LogicalJoin) for ge in g.logical_exprs())
+    )
+    names = sorted(
+        type(ge.op).__name__ for ge in join_group.physical_exprs()
+    )
+    # two logical joins (commuted) x {HashJoin, NLJoin}
+    assert names.count("HashJoin") == 2
+    assert names.count("NLJoin") == 2
+
+
+def test_semi_join_memo_child_order(db):
+    memo = _memo_for(
+        db, "SELECT v FROM p WHERE k IN (SELECT x FROM q)"
+    )
+    explore(memo)
+    implement(memo)
+    semi_groups = [
+        g
+        for g in memo
+        if any(
+            isinstance(ge.op, LogicalJoin) and ge.op.kind == "semi"
+            for ge in g.logical_exprs()
+        )
+    ]
+    assert semi_groups
+    group = semi_groups[0]
+    hash_joins = [
+        ge
+        for ge in group.physical_exprs()
+        if type(ge.op).__name__ == "HashJoin"
+    ]
+    logical = next(
+        ge for ge in group.logical_exprs() if isinstance(ge.op, LogicalJoin)
+    )
+    # physical semi hash join swaps children: build = subquery side
+    assert hash_joins[0].child_groups == (
+        logical.child_groups[1],
+        logical.child_groups[0],
+    )

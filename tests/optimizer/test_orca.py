@@ -1,0 +1,200 @@
+"""The Orca-style optimizer: plan shapes, property enforcement, partition
+selection as an enforced property (paper Section 3.1, Figures 13-14)."""
+
+import pytest
+
+from repro.optimizer.memo import Memo
+from repro.optimizer.orca import OrcaOptimizer
+from repro.optimizer.rules import explore, implement
+from repro.physical.ops import (
+    BroadcastMotion,
+    DynamicScan,
+    GatherMotion,
+    HashJoin,
+    Motion,
+    PartitionSelector,
+    RedistributeMotion,
+)
+
+
+def _optimizer(db, **options) -> OrcaOptimizer:
+    return db.make_optimizer("orca", **options)
+
+
+def _plan(db, sql, **options):
+    return db.plan(sql, optimizer="orca", **options)
+
+
+def test_every_plan_has_gather_at_root(orders_db):
+    plan = _plan(orders_db, "SELECT * FROM orders")
+    motions = [op for op in plan.walk() if isinstance(op, GatherMotion)]
+    assert motions, "results must be gathered to the coordinator"
+
+
+def test_static_selection_unit(orders_db):
+    """Constant predicate resolves as PartitionSelector directly over the
+    DynamicScan (the Figure 5(c) pattern)."""
+    plan = _plan(
+        orders_db,
+        "SELECT * FROM orders WHERE date BETWEEN '10-01-2013' AND '12-31-2013'",
+    )
+    selector = next(
+        op for op in plan.walk() if isinstance(op, PartitionSelector)
+    )
+    assert selector.spec.has_predicates
+    assert isinstance(selector.children[0], DynamicScan)
+    plan.validate()
+
+
+def test_plan_size_independent_of_partition_count():
+    """The core compactness claim (Section 2.2): an Orca plan does not
+    enumerate partitions."""
+    from repro.workloads.tpch import build_lineitem_database
+
+    sizes = []
+    for parts in (10, 50):
+        db = build_lineitem_database(parts, row_count=200, num_segments=2)
+        plan = _plan(db, "SELECT * FROM lineitem")
+        sizes.append(plan.size_bytes())
+    assert sizes[0] == sizes[1]
+
+
+def test_join_dpe_produces_plan4_shape(orders_db):
+    """Figure 14 Plan 4: PartitionSelector over a broadcast build side, and
+    no Motion between the DynamicScan and the join."""
+    sql = (
+        "SELECT avg(o.amount) FROM orders_fk o, date_dim d "
+        "WHERE o.date_id = d.date_id AND d.year = 2013 AND d.month = 11"
+    )
+    plan = _plan(orders_db, sql)
+    join = next(op for op in plan.walk() if isinstance(op, HashJoin))
+    build, probe = join.children
+    # the build side carries the producer selector
+    assert any(isinstance(op, PartitionSelector) for op in build.walk())
+    selector = next(
+        op for op in build.walk() if isinstance(op, PartitionSelector)
+    )
+    # streaming predicate references the dimension side
+    assert "d." in repr(selector.spec.part_predicates[0])
+    # the consumer side is motion-free (the co-location constraint)
+    assert not any(isinstance(op, Motion) for op in probe.walk())
+    assert any(isinstance(op, DynamicScan) for op in probe.walk())
+
+
+def test_semi_join_dpe_from_in_subquery(orders_db):
+    sql = (
+        "SELECT avg(amount) FROM orders_fk WHERE date_id IN "
+        "(SELECT date_id FROM date_dim WHERE year = 2013 AND month = 11)"
+    )
+    plan = _plan(orders_db, sql)
+    join = next(op for op in plan.walk() if isinstance(op, HashJoin))
+    assert join.kind == "semi"
+    build = join.children[0]
+    assert any(isinstance(op, PartitionSelector) for op in build.walk())
+
+
+def test_elimination_disabled_keeps_dynamic_scans(orders_db):
+    plan = _plan(
+        orders_db,
+        "SELECT * FROM orders WHERE date BETWEEN '10-01-2013' AND '12-31-2013'",
+        enable_partition_elimination=False,
+    )
+    selector = next(
+        op for op in plan.walk() if isinstance(op, PartitionSelector)
+    )
+    assert not selector.spec.has_predicates  # Φ: scans all partitions
+    assert any(isinstance(op, DynamicScan) for op in plan.walk())
+
+
+def test_join_dpe_can_be_disabled(orders_db):
+    sql = (
+        "SELECT avg(o.amount) FROM orders_fk o, date_dim d "
+        "WHERE o.date_id = d.date_id AND d.year = 2013 AND d.month = 11"
+    )
+    plan = _plan(orders_db, sql, enable_join_dpe=False)
+    selectors = [
+        op for op in plan.walk() if isinstance(op, PartitionSelector)
+    ]
+    assert len(selectors) == 1
+    assert not selectors[0].spec.has_predicates
+
+
+def test_redistribute_considered_for_equi_join(orders_db):
+    """A join on non-distribution keys needs some Motion to co-locate."""
+    sql = (
+        "SELECT count(*) FROM orders_fk o, date_dim d "
+        "WHERE o.date_id = d.date_id"
+    )
+    plan = _plan(orders_db, sql)
+    assert any(
+        isinstance(op, (RedistributeMotion, BroadcastMotion))
+        for op in plan.walk()
+    )
+    plan.validate()
+
+
+def test_all_extracted_plans_validate(orders_db):
+    queries = [
+        "SELECT * FROM orders",
+        "SELECT count(*) FROM orders WHERE amount > 50",
+        "SELECT avg(amount) FROM orders WHERE date < '06-01-2012'",
+        "SELECT o.order_id FROM orders_fk o, date_dim d "
+        "WHERE o.date_id = d.date_id AND d.month = 3 ORDER BY o.order_id LIMIT 5",
+        "SELECT year, count(*) AS cnt FROM date_dim GROUP BY year",
+        "SELECT DISTINCT month FROM date_dim",
+    ]
+    for sql in queries:
+        plan = _plan(orders_db, sql)
+        plan.validate()  # raises on violation
+
+
+def test_memo_contains_commuted_join(orders_db):
+    logical = orders_db.bind(
+        "SELECT count(*) FROM orders_fk o, date_dim d "
+        "WHERE o.date_id = d.date_id"
+    )
+    memo = Memo(orders_db.stats)
+    memo.copy_in(logical)
+    explore(memo)
+    implement(memo)
+    join_groups = [
+        group
+        for group in memo
+        if any(
+            type(g.op).__name__ == "LogicalJoin" for g in group.logical_exprs()
+        )
+    ]
+    assert join_groups
+    group = join_groups[0]
+    joins = [
+        g for g in group.logical_exprs() if type(g.op).__name__ == "LogicalJoin"
+    ]
+    child_orders = {g.child_groups for g in joins}
+    assert len(child_orders) == 2  # HashJoin[1,2] and HashJoin[2,1]
+
+
+def test_request_tables_are_cached(orders_db):
+    engine = _optimizer(orders_db)
+    logical = orders_db.bind(
+        "SELECT * FROM orders WHERE date < '06-01-2012'"
+    )
+    engine.optimize(logical)
+    assert engine.memo is not None
+    cached = sum(len(group.best) for group in engine.memo)
+    assert cached > 0
+
+
+def test_update_plan_shape(rs_db):
+    plan = _plan(rs_db, "UPDATE r SET b = s.b FROM s WHERE r.a = s.a")
+    names = [op.name for op in plan.walk()]
+    assert names[0] == "Update"
+    assert "DynamicScan" in names
+    assert "LeafScan" not in names  # compact: no partition enumeration
+
+
+def test_memo_describe_smoke(orders_db):
+    engine = _optimizer(orders_db)
+    logical = orders_db.bind("SELECT * FROM orders")
+    engine.optimize(logical)
+    text = engine.memo.describe()
+    assert "GROUP 0" in text and "req" in text

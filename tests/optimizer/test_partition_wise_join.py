@@ -1,0 +1,125 @@
+"""Partition-wise joins (paper Section 5 related work: Oracle's feature,
+and the pair-pruning of Herodotou et al. [7]) — an opt-in Planner mode."""
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.physical.ops import Append, HashJoin, LeafScan, Motion
+from repro.workloads.synthetic import build_rs_database
+
+JOIN = "SELECT count(*) FROM r, s WHERE r.b = s.b"
+
+
+def _pw_plan(db, sql):
+    return db.plan(sql, optimizer="planner", enable_partition_wise_join=True)
+
+
+def test_pairwise_plan_shape(rs_db):
+    plan = _pw_plan(rs_db, JOIN)
+    joins = [op for op in plan.walk() if isinstance(op, HashJoin)]
+    assert len(joins) == 10  # one per matching partition pair
+    for join in joins:
+        scans = [op for op in join.walk() if isinstance(op, LeafScan)]
+        assert len(scans) == 2
+        # matching pairs: identical leaf ids on both sides
+        left_id = scans[0].table.leaf_id(scans[0].leaf_oid)
+        right_id = scans[1].table.leaf_id(scans[1].leaf_oid)
+        assert left_id == right_id
+        # co-located: no Motion inside any pair join
+        assert not any(isinstance(op, Motion) for op in join.walk())
+
+
+def test_pairwise_results_match(rs_db):
+    conventional = rs_db.sql(JOIN, optimizer="planner")
+    pairwise = rs_db.sql(
+        JOIN, optimizer="planner", enable_partition_wise_join=True
+    )
+    orca = rs_db.sql(JOIN)
+    assert conventional.rows == pairwise.rows == orca.rows
+
+
+def test_pairwise_prunes_both_sides(rs_db):
+    """Static pruning on one side drops the matching pairs of the OTHER
+    side too (constraint subsumption across the equi-join)."""
+    sql = "SELECT count(*) FROM r, s WHERE r.b = s.b AND r.b < 2000"
+    result = rs_db.sql(
+        sql, optimizer="planner", enable_partition_wise_join=True
+    )
+    reference = rs_db.sql(sql)
+    assert result.rows == reference.rows
+    assert result.partitions_scanned("r") == 2
+    assert result.partitions_scanned("s") == 2  # pruned via the pairs
+
+
+def test_pairwise_requires_compatible_schemes():
+    """Different partition boundaries must fall back to a regular join."""
+    db = Database(num_segments=2)
+    db.create_table(
+        "r",
+        TableSchema.of(("a", t.INT), ("b", t.INT)),
+        distribution=DistributionPolicy.hashed("b"),
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 4)]),
+    )
+    db.create_table(
+        "s",
+        TableSchema.of(("x", t.INT), ("b", t.INT)),
+        distribution=DistributionPolicy.hashed("b"),
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 5)]),
+    )
+    db.insert("r", [(i, i % 100) for i in range(50)])
+    db.insert("s", [(i, i % 100) for i in range(50)])
+    db.analyze()
+    plan = _pw_plan(db, "SELECT count(*) FROM r, s WHERE r.b = s.b")
+    joins = [op for op in plan.walk() if isinstance(op, HashJoin)]
+    assert len(joins) == 1  # fell back
+
+
+def test_pairwise_requires_join_on_partition_key(rs_db):
+    plan = _pw_plan(rs_db, "SELECT count(*) FROM r, s WHERE r.a = s.a")
+    joins = [op for op in plan.walk() if isinstance(op, HashJoin)]
+    assert len(joins) == 1
+
+
+def test_pairwise_requires_colocated_distribution():
+    """Tables distributed on other columns cannot join pairwise locally."""
+    db = Database(num_segments=2)
+    for name, first in (("r", "a"), ("s", "a")):
+        db.create_table(
+            name,
+            TableSchema.of(("a", t.INT), ("b", t.INT)),
+            distribution=DistributionPolicy.hashed(first),  # NOT the key
+            partition_scheme=PartitionScheme(
+                [uniform_int_level("b", 0, 100, 4)]
+            ),
+        )
+        db.insert(name, [(i, i % 100) for i in range(50)])
+    db.analyze()
+    plan = _pw_plan(db, "SELECT count(*) FROM r, s WHERE r.b = s.b")
+    joins = [op for op in plan.walk() if isinstance(op, HashJoin)]
+    assert len(joins) == 1
+
+
+def test_pairwise_empty_when_fully_pruned(rs_db):
+    result = rs_db.sql(
+        "SELECT count(*) FROM r, s WHERE r.b = s.b AND r.b < 0",
+        optimizer="planner",
+        enable_partition_wise_join=True,
+    )
+    assert result.rows == [(0,)]
+
+
+def test_scheme_compatibility_helper():
+    from repro.catalog.partition import PartitionScheme, uniform_int_level
+
+    a = PartitionScheme([uniform_int_level("b", 0, 100, 4)])
+    b = PartitionScheme([uniform_int_level("other", 0, 100, 4)])
+    c = PartitionScheme([uniform_int_level("b", 0, 100, 5)])
+    assert a.compatible_with(b)  # key names may differ; boundaries matter
+    assert not a.compatible_with(c)

@@ -1,0 +1,89 @@
+"""Distributed top-N: per-segment Sort+Limit below the Gather."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.physical.ops import GatherMotion, Limit, Sort
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    database = Database(num_segments=3)
+    database.create_table(
+        "t",
+        TableSchema.of(("a", t.INT), ("k", t.INT), ("v", t.FLOAT)),
+        distribution=DistributionPolicy.hashed("a"),
+        partition_scheme=PartitionScheme([uniform_int_level("k", 0, 100, 4)]),
+    )
+    rng = random.Random(2)
+    database.insert(
+        "t",
+        [
+            (i, rng.randrange(100), round(rng.uniform(0, 1000), 3))
+            for i in range(3000)
+        ],
+    )
+    database.analyze()
+    return database
+
+
+def _rows(db):
+    return list(db.storage.store_by_name("t").scan_all())
+
+
+def test_top_n_plan_shape(db):
+    plan = db.plan("SELECT a, v FROM t ORDER BY v DESC LIMIT 5")
+    # Limit ▸ Sort ▸ Gather ▸ Limit ▸ Sort: two sort/limit stages
+    sorts = [op for op in plan.walk() if isinstance(op, Sort)]
+    limits = [op for op in plan.walk() if isinstance(op, Limit)]
+    assert len(sorts) == 2 and len(limits) == 2
+    gather = next(op for op in plan.walk() if isinstance(op, GatherMotion))
+    # the local stage sits below the gather
+    assert any(isinstance(op, Limit) for op in gather.walk())
+
+
+def test_top_n_correct_desc_and_asc(db):
+    rows = _rows(db)
+    descending = db.sql("SELECT a, v FROM t ORDER BY v DESC LIMIT 7")
+    assert descending.rows == sorted(
+        ((a, v) for a, _, v in rows), key=lambda r: -r[1]
+    )[:7]
+    ascending = db.sql("SELECT a, v FROM t ORDER BY v LIMIT 7")
+    assert ascending.rows == sorted(
+        ((a, v) for a, _, v in rows), key=lambda r: r[1]
+    )[:7]
+
+
+def test_top_n_with_partition_pruning(db):
+    result = db.sql(
+        "SELECT a, v FROM t WHERE k < 25 ORDER BY v DESC LIMIT 3"
+    )
+    rows = [(a, v) for a, k, v in _rows(db) if k < 25]
+    assert result.rows == sorted(rows, key=lambda r: -r[1])[:3]
+    assert result.partitions_scanned("t") == 1
+
+
+def test_top_n_ties_and_limit_exceeding_rows(db):
+    result = db.sql("SELECT a FROM t WHERE a < 3 ORDER BY a LIMIT 100")
+    assert [r[0] for r in result.rows] == [0, 1, 2]
+
+
+def test_limit_without_sort_unchanged(db):
+    plan = db.plan("SELECT a FROM t LIMIT 5")
+    limits = [op for op in plan.walk() if isinstance(op, Limit)]
+    assert len(limits) == 1
+    assert len(db.sql("SELECT a FROM t LIMIT 5").rows) == 5
+
+
+def test_planner_agrees_on_top_n(db):
+    sql = "SELECT a, v FROM t ORDER BY v LIMIT 10"
+    assert db.sql(sql).rows == db.sql(sql, optimizer="planner").rows

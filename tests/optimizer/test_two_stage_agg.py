@@ -1,0 +1,134 @@
+"""Two-stage (partial/final) aggregation: plan shape, correctness across
+aggregate functions, interaction with partition selection."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.physical.ops import HashAgg, Motion, RedistributeMotion
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    database = Database(num_segments=3)
+    database.create_table(
+        "t",
+        TableSchema.of(("a", t.INT), ("b", t.INT), ("v", t.FLOAT)),
+        distribution=DistributionPolicy.hashed("a"),
+        partition_scheme=PartitionScheme([uniform_int_level("b", 0, 100, 4)]),
+    )
+    rng = random.Random(8)
+    database.insert(
+        "t",
+        [(i, i % 100, round(rng.uniform(0, 10), 4)) for i in range(600)],
+    )
+    database.analyze()
+    return database
+
+
+def _rows(db):
+    return list(db.storage.store_by_name("t").scan_all())
+
+
+def _agg_modes(plan) -> list[str]:
+    return [op.mode for op in plan.walk() if isinstance(op, HashAgg)]
+
+
+def test_scalar_agg_uses_two_stages(db):
+    plan = db.plan("SELECT count(*), sum(v) FROM t")
+    modes = _agg_modes(plan)
+    assert sorted(modes) == ["final", "partial"]
+    # a Motion sits between the two stages
+    final = next(op for op in plan.walk() if isinstance(op, HashAgg))
+    assert isinstance(final.children[0], Motion)
+
+
+def test_scalar_agg_correct(db):
+    rows = _rows(db)
+    vals = [r[2] for r in rows]
+    result = db.sql("SELECT count(*), sum(v), avg(v), min(v), max(v) FROM t")
+    count, total, mean, lo, hi = result.rows[0]
+    assert count == len(rows)
+    assert total == pytest.approx(sum(vals))
+    assert mean == pytest.approx(sum(vals) / len(vals))
+    assert lo == min(vals) and hi == max(vals)
+
+
+def test_grouped_agg_redistributes_transitions(db):
+    plan = db.plan("SELECT b, avg(v) FROM t GROUP BY b")
+    modes = _agg_modes(plan)
+    if sorted(modes) == ["final", "partial"]:
+        redistributes = [
+            op for op in plan.walk() if isinstance(op, RedistributeMotion)
+        ]
+        assert redistributes, "grouped two-stage needs a redistribute"
+    result = db.sql("SELECT b, count(*) AS c, avg(v) AS m FROM t GROUP BY b")
+    rows = _rows(db)
+    by_group: dict[int, list[float]] = {}
+    for _, b, v in rows:
+        by_group.setdefault(b, []).append(v)
+    assert len(result.rows) == len(by_group)
+    for b, count, mean in result.rows:
+        assert count == len(by_group[b])
+        assert mean == pytest.approx(sum(by_group[b]) / count)
+
+
+def test_avg_transition_is_exact_across_segments(db):
+    """AVG's two-stage form must combine (sum, count) pairs, not averages
+    of averages — segments hold different group sizes."""
+    # force skew: values concentrated on one key with uneven sizes
+    skew_db = Database(num_segments=3)
+    skew_db.create_table(
+        "s",
+        TableSchema.of(("a", t.INT), ("g", t.INT), ("v", t.FLOAT)),
+        distribution=DistributionPolicy.hashed("a"),
+    )
+    rows = [(i, 1, float(i)) for i in range(10)] + [(100, 2, 5.0)]
+    skew_db.insert("s", rows)
+    skew_db.analyze()
+    result = skew_db.sql("SELECT g, avg(v) FROM s GROUP BY g")
+    got = dict(result.rows)
+    assert got[1] == pytest.approx(4.5)
+    assert got[2] == pytest.approx(5.0)
+
+
+def test_two_stage_scalar_with_nulls():
+    database = Database(num_segments=2)
+    database.create_table(
+        "n", TableSchema.of(("a", t.INT), ("v", t.INT))
+    )
+    database.insert("n", [(1, None), (2, 3), (3, None), (4, 7)])
+    database.analyze()
+    result = database.sql("SELECT count(*), count(v), sum(v), avg(v) FROM n")
+    assert result.rows == [(4, 2, 10, 5.0)]
+
+
+def test_two_stage_over_partition_selection(db):
+    """Partial aggregation composes with the DynamicScan machinery."""
+    result = db.sql("SELECT count(*), sum(v) FROM t WHERE b < 25")
+    rows = [r for r in _rows(db) if r[1] < 25]
+    assert result.rows[0][0] == len(rows)
+    assert result.rows[0][1] == pytest.approx(sum(r[2] for r in rows))
+    assert result.partitions_scanned("t") == 1
+
+
+def test_two_stage_agg_empty_input(db):
+    result = db.sql("SELECT count(*), sum(v), min(v) FROM t WHERE b < 0")
+    assert result.rows == [(0, None, None)]
+
+
+def test_planner_single_stage_agrees(db):
+    sql = "SELECT b, sum(v) AS s FROM t GROUP BY b"
+    orca = sorted(db.sql(sql).rows)
+    planner = sorted(db.sql(sql, optimizer="planner").rows)
+    assert len(orca) == len(planner)
+    for (b1, s1), (b2, s2) in zip(orca, planner):
+        assert b1 == b2 and s1 == pytest.approx(s2)

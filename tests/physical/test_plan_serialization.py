@@ -1,0 +1,62 @@
+"""Plan serialization: determinism, content, and the metadata annex."""
+
+import json
+
+import pytest
+
+from repro.workloads.synthetic import JOIN_QUERY, build_rs_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_rs_database(num_parts=6, rows_per_table=100)
+
+
+def test_serialization_is_deterministic(db):
+    plan_a = db.plan(JOIN_QUERY)
+    plan_b = db.plan(JOIN_QUERY)
+    assert plan_a.serialize() == plan_b.serialize()
+
+
+def test_serialized_plan_is_valid_json(db):
+    plan = db.plan(JOIN_QUERY)
+    document = json.loads(plan.serialize())
+    assert document["op"] in ("GatherMotion", "Project")
+
+    def operators(node):
+        yield node["op"]
+        for child in node.get("children", ()):
+            yield from operators(child)
+
+    names = set(operators(document))
+    assert "DynamicScan" in names
+    assert "PartitionSelector" in names
+
+
+def test_size_reflects_serialization(db):
+    plan = db.plan(JOIN_QUERY)
+    assert plan.size_bytes() == len(plan.serialize().encode("utf-8"))
+
+
+def test_metadata_annex_lists_touched_tables_only(db):
+    plan = db.plan("SELECT * FROM r WHERE b < 100")
+    annex = plan.metadata_annex()
+    tables = {entry["table"] for entry in annex.values()}
+    assert tables == {"r"}
+    (entry,) = annex.values()
+    assert len(entry["leaves"]) == 6
+    for leaf in entry["leaves"]:
+        assert {"oid", "name", "constraints"} <= set(leaf)
+
+
+def test_planner_plans_serialize_leaf_lists(db):
+    plan = db.plan("SELECT * FROM r", optimizer="planner")
+    document = json.loads(plan.serialize())
+    text = plan.serialize()
+    assert text.count("LeafScan") == 6
+    assert "leaf_oid" in text
+
+
+def test_explain_carries_row_estimates(db):
+    text = db.plan(JOIN_QUERY).explain()
+    assert "rows≈" in text

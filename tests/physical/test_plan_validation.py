@@ -1,0 +1,230 @@
+"""Plan invariants: the paper's Figure 12 Motion rule, producer/consumer
+pairing, execution-order soundness, and the plan-size metrics."""
+
+import pytest
+
+from repro import types as t
+from repro.catalog import (
+    Catalog,
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.errors import InvalidPlanError
+from repro.expr.ast import ColumnRef, Comparison, Literal
+from repro.physical.ops import (
+    BroadcastMotion,
+    DynamicScan,
+    Filter,
+    GatherMotion,
+    HashJoin,
+    LeafScan,
+    PartitionSelector,
+    Scan,
+    Sequence,
+)
+from repro.physical.plan import Plan
+from repro.physical.properties import PartSelectorSpec
+
+
+@pytest.fixture(scope="module")
+def tables():
+    catalog = Catalog()
+    partitioned = catalog.create_table(
+        "t",
+        TableSchema.of(("pk", t.INT), ("v", t.INT)),
+        distribution=DistributionPolicy.hashed("pk"),
+        partition_scheme=PartitionScheme([uniform_int_level("pk", 0, 100, 4)]),
+    )
+    plain = catalog.create_table(
+        "r",
+        TableSchema.of(("a", t.INT), ("b", t.INT)),
+        distribution=DistributionPolicy.hashed("a"),
+    )
+    return partitioned, plain
+
+
+def _spec(table, predicate=None) -> PartSelectorSpec:
+    key = ColumnRef("pk", "t")
+    return PartSelectorSpec(1, table, [key], [predicate])
+
+
+def _join_spec(table) -> PartSelectorSpec:
+    key = ColumnRef("pk", "t")
+    return PartSelectorSpec(1, table, [key], [
+        Comparison("=", key, ColumnRef("a", "r"))
+    ])
+
+
+def test_valid_static_pattern(tables):
+    partitioned, _ = tables
+    plan = Plan(
+        GatherMotion(
+            PartitionSelector(_spec(partitioned), DynamicScan(partitioned, "t", 1))
+        )
+    )
+    plan.validate()
+
+
+def test_valid_sequence_pattern(tables):
+    partitioned, _ = tables
+    plan = Plan(
+        Sequence(
+            [
+                PartitionSelector(_spec(partitioned)),
+                DynamicScan(partitioned, "t", 1),
+            ]
+        )
+    )
+    plan.validate()
+
+
+def test_valid_join_dpe_pattern(tables):
+    """Figure 12 left / Figure 14 Plan 4: selector above the motion on the
+    build side, consumer motion-free on the probe side."""
+    partitioned, plain = tables
+    build = PartitionSelector(_join_spec(partitioned), BroadcastMotion(Scan(plain, "r")))
+    probe = DynamicScan(partitioned, "t", 1)
+    plan = Plan(
+        HashJoin(
+            "inner",
+            build,
+            probe,
+            [ColumnRef("a", "r")],
+            [ColumnRef("pk", "t")],
+        )
+    )
+    plan.validate()
+
+
+def test_invalid_motion_between_pair(tables):
+    """Figure 12 right: a Motion between the PartitionSelector and the
+    join separates producer from consumer."""
+    partitioned, plain = tables
+    build = BroadcastMotion(
+        PartitionSelector(_join_spec(partitioned), Scan(plain, "r"))
+    )
+    probe = DynamicScan(partitioned, "t", 1)
+    plan = Plan(
+        HashJoin(
+            "inner",
+            build,
+            probe,
+            [ColumnRef("a", "r")],
+            [ColumnRef("pk", "t")],
+        )
+    )
+    with pytest.raises(InvalidPlanError):
+        plan.validate()
+
+
+def test_invalid_motion_above_consumer_only(tables):
+    """A Motion between the consumer and the pair's LCA is just as bad."""
+    partitioned, plain = tables
+    build = PartitionSelector(_join_spec(partitioned), Scan(plain, "r"))
+    probe = GatherMotion(DynamicScan(partitioned, "t", 1))
+    plan = Plan(
+        HashJoin(
+            "inner",
+            build,
+            probe,
+            [ColumnRef("a", "r")],
+            [ColumnRef("pk", "t")],
+        )
+    )
+    with pytest.raises(InvalidPlanError):
+        plan.validate()
+
+
+def test_missing_producer_rejected(tables):
+    partitioned, _ = tables
+    plan = Plan(DynamicScan(partitioned, "t", 1))
+    with pytest.raises(InvalidPlanError, match="no PartitionSelector"):
+        plan.validate()
+
+
+def test_orphan_producer_rejected(tables):
+    partitioned, plain = tables
+    plan = Plan(PartitionSelector(_spec(partitioned), Scan(plain, "r")))
+    with pytest.raises(InvalidPlanError, match="no consumer"):
+        plan.validate()
+
+
+def test_consumer_before_producer_rejected(tables):
+    """Streaming selector on the PROBE side of the join executes after the
+    build-side consumer — producer would finish too late."""
+    partitioned, plain = tables
+    build = DynamicScan(partitioned, "t", 1)
+    probe = PartitionSelector(_join_spec(partitioned), Scan(plain, "r"))
+    plan = Plan(
+        HashJoin(
+            "inner",
+            build,
+            probe,
+            [ColumnRef("pk", "t")],
+            [ColumnRef("a", "r")],
+        )
+    )
+    with pytest.raises(InvalidPlanError, match="before"):
+        plan.validate()
+
+
+def test_guarded_leaf_scans_count_as_consumers(tables):
+    partitioned, plain = tables
+    from repro.physical.ops import Append
+
+    leaves = [
+        LeafScan(partitioned, "t", oid, guard_scan_id=1)
+        for oid in partitioned.all_leaf_oids()
+    ]
+    build = PartitionSelector(_join_spec(partitioned), Scan(plain, "r"))
+    plan = Plan(
+        HashJoin(
+            "inner",
+            build,
+            Append(leaves),
+            [ColumnRef("a", "r")],
+            [ColumnRef("pk", "t")],
+        )
+    )
+    plan.validate()
+
+
+def test_plan_size_metrics(tables):
+    partitioned, _ = tables
+    plan = Plan(
+        PartitionSelector(_spec(partitioned), DynamicScan(partitioned, "t", 1))
+    )
+    assert plan.node_count() == 2
+    assert plan.size_bytes() > 0
+    assert plan.dispatched_size_bytes() > plan.size_bytes()
+    assert "DynamicScan" in plan.serialize()
+
+
+def test_planner_style_plan_size_grows_with_leaves(tables):
+    """The Append-of-LeafScans representation is linear in #partitions —
+    the property Figure 18 measures."""
+    partitioned, _ = tables
+    from repro.physical.ops import Append
+
+    all_leaves = Plan(
+        Append([LeafScan(partitioned, "t", oid) for oid in partitioned.all_leaf_oids()])
+    )
+    one_leaf = Plan(
+        Append([LeafScan(partitioned, "t", partitioned.all_leaf_oids()[0])])
+    )
+    assert all_leaves.size_bytes() > 3 * one_leaf.size_bytes()
+
+
+def test_explain_contains_operators(tables):
+    partitioned, _ = tables
+    plan = Plan(
+        Filter(
+            PartitionSelector(_spec(partitioned), DynamicScan(partitioned, "t", 1)),
+            Comparison("<", ColumnRef("v", "t"), Literal(5)),
+        )
+    )
+    text = plan.explain()
+    assert "Filter" in text and "PartitionSelector" in text
+    assert "DynamicScan" in text

@@ -1,0 +1,123 @@
+"""Physical properties: distribution satisfaction and spec bookkeeping."""
+
+import pytest
+
+from repro import types as t
+from repro.catalog import (
+    Catalog,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+from repro.expr.ast import ColumnRef, Comparison, Literal
+from repro.physical.properties import (
+    DistributionSpec,
+    PartitionPropagationSpec,
+    PartSelectorSpec,
+)
+
+A = ColumnRef("a", "t")
+B = ColumnRef("b", "t")
+
+
+class TestDistributionSpec:
+    def test_everything_satisfies_any(self):
+        required = DistributionSpec.any()
+        for spec in (
+            DistributionSpec.hashed([A]),
+            DistributionSpec.replicated(),
+            DistributionSpec.singleton(),
+        ):
+            assert spec.satisfies(required)
+
+    def test_hashed_matching(self):
+        required = DistributionSpec.hashed([A])
+        assert DistributionSpec.hashed([A]).satisfies(required)
+        assert DistributionSpec.hashed([ColumnRef("a", "t")]).satisfies(required)
+        assert not DistributionSpec.hashed([B]).satisfies(required)
+        assert not DistributionSpec.hashed([A, B]).satisfies(required)
+
+    def test_replicated_satisfies_hashed(self):
+        """Every segment has all rows, so co-location holds trivially."""
+        assert DistributionSpec.replicated().satisfies(
+            DistributionSpec.hashed([A])
+        )
+
+    def test_singleton_only_satisfied_by_singleton(self):
+        required = DistributionSpec.singleton()
+        assert DistributionSpec.singleton().satisfies(required)
+        assert not DistributionSpec.hashed([A]).satisfies(required)
+        assert not DistributionSpec.replicated().satisfies(required)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributionSpec("hashed")
+        with pytest.raises(ValueError):
+            DistributionSpec("replicated", [A])
+        with pytest.raises(ValueError):
+            DistributionSpec("bogus")
+
+    def test_hash_and_equality(self):
+        assert DistributionSpec.hashed([A]) == DistributionSpec.hashed([A])
+        assert hash(DistributionSpec.replicated()) == hash(
+            DistributionSpec.replicated()
+        )
+
+
+@pytest.fixture(scope="module")
+def table():
+    catalog = Catalog()
+    return catalog.create_table(
+        "t",
+        TableSchema.of(("a", t.INT), ("b", t.INT)),
+        partition_scheme=PartitionScheme([uniform_int_level("a", 0, 10, 2)]),
+    )
+
+
+class TestPartSelectorSpec:
+    def test_for_table_initialises_empty_predicates(self, table):
+        spec = PartSelectorSpec.for_table(3, table, "t")
+        assert spec.part_scan_id == 3
+        assert not spec.has_predicates
+        assert spec.part_keys[0].name == "a"
+
+    def test_with_predicates(self, table):
+        spec = PartSelectorSpec.for_table(1, table, "t")
+        pred = Comparison("<", A, Literal(5))
+        updated = spec.with_predicates([pred])
+        assert updated.has_predicates
+        assert not spec.has_predicates  # immutable
+
+    def test_level_count_enforced(self, table):
+        with pytest.raises(ValueError):
+            PartSelectorSpec(1, table, [A], [None, None])
+        with pytest.raises(ValueError):
+            PartSelectorSpec(1, table, [], [])
+
+    def test_hashable(self, table):
+        a = PartSelectorSpec.for_table(1, table, "t")
+        b = PartSelectorSpec.for_table(1, table, "t")
+        assert a == b and hash(a) == hash(b)
+        assert a != a.with_predicates([Comparison("<", A, Literal(5))])
+
+
+class TestPartitionPropagationSpec:
+    def test_set_operations(self, table):
+        spec_a = PartSelectorSpec.for_table(1, table, "t")
+        spec_b = PartSelectorSpec.for_table(2, table, "t")
+        props = PartitionPropagationSpec([spec_a])
+        assert not props.is_empty
+        assert props.scan_ids() == {1}
+        grown = props.add(spec_b)
+        assert grown.scan_ids() == {1, 2}
+        shrunk = grown.remove(spec_a)
+        assert shrunk.scan_ids() == {2}
+        assert PartitionPropagationSpec.none().is_empty
+
+    def test_iteration_is_deterministic(self, table):
+        specs = [PartSelectorSpec.for_table(i, table, "t") for i in (3, 1, 2)]
+        props = PartitionPropagationSpec(specs)
+        assert [s.part_scan_id for s in props] == [1, 2, 3]
+
+    def test_repr_matches_paper_notation(self, table):
+        assert repr(PartitionPropagationSpec.none()) == "<>"

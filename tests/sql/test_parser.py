@@ -1,0 +1,199 @@
+"""SQL lexer and parser: statements, precedence, errors, date literals."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlError
+from repro.expr.ast import (
+    Arithmetic,
+    Between,
+    BoolExpr,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    Parameter,
+)
+from repro.sql.ast import InsertStmt, InSubquery, SelectStmt, UpdateStmt
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse, parse_expression
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [tok.kind for tok in tokenize("SELECT a, 1 FROM t")]
+        assert kinds == ["KEYWORD", "IDENT", "PUNCT", "NUMBER", "KEYWORD", "IDENT", "EOF"]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("SeLeCt")[0].is_keyword("select")
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [tok.value for tok in tokens[:-1]] == [1, 2.5, 0.125]
+
+    def test_params_and_operators(self):
+        tokens = tokenize("$1 <= != <>")
+        assert tokens[0].kind == "PARAM" and tokens[0].value == 1
+        assert tokens[1].value == "<="
+        assert tokens[2].value == "<>"  # != normalised
+        assert tokens[3].value == "<>"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert [tok.kind for tok in tokens] == ["KEYWORD", "NUMBER", "EOF"]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+
+class TestExpressions:
+    def test_precedence_and_before_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BoolExpr) and expr.op == "OR"
+        assert isinstance(expr.args[1], BoolExpr)
+        assert expr.args[1].op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Arithmetic) and expr.op == "+"
+        assert isinstance(expr.right, Arithmetic) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+
+    def test_in_list_and_not_in(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, InList) and expr.values == (1, 2, 3)
+        negated = parse_expression("x NOT IN (1)")
+        assert isinstance(negated, BoolExpr) and negated.op == "NOT"
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), IsNull)
+        negated = parse_expression("x IS NOT NULL")
+        assert isinstance(negated, IsNull) and negated.negated
+
+    def test_qualified_columns(self):
+        expr = parse_expression("t.col")
+        assert expr == ColumnRef("col", "t")
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, Arithmetic)
+
+    def test_parameters(self):
+        expr = parse_expression("x = $2")
+        assert isinstance(expr.right, Parameter) and expr.right.index == 2
+
+    def test_date_literal_recognition(self):
+        us_style = parse_expression("'10-01-2013'")
+        assert us_style == Literal(datetime.date(2013, 10, 1))
+        iso = parse_expression("'2013-10-01'")
+        assert iso == Literal(datetime.date(2013, 10, 1))
+        plain = parse_expression("'not-a-date'")
+        assert plain == Literal("not-a-date")
+
+
+class TestStatements:
+    def test_paper_figure_2_query(self):
+        stmt = parse(
+            "SELECT avg(amount) FROM orders "
+            "WHERE date BETWEEN '10-01-2013' AND '12-31-2013'"
+        )
+        assert isinstance(stmt, SelectStmt)
+        assert isinstance(stmt.where, Between)
+
+    def test_paper_figure_4_query(self):
+        stmt = parse(
+            "SELECT avg(amount) FROM orders WHERE date_id IN "
+            "(SELECT date_id FROM date_dim WHERE year = 2013 "
+            "AND month BETWEEN 10 AND 12)"
+        )
+        assert isinstance(stmt.where, InSubquery)
+        assert isinstance(stmt.where.subquery, SelectStmt)
+
+    def test_paper_figure_6_query(self):
+        stmt = parse(
+            "SELECT * FROM sales_fact s, date_dim d, customer_dim c "
+            "WHERE d.month BETWEEN 10 AND 12 AND c.state = 'CA' "
+            "AND d.id = s.date_id AND c.id = s.cust_id"
+        )
+        assert len(stmt.tables) == 3
+        assert stmt.tables[0].alias == "s"
+        assert stmt.items[0].is_star
+
+    def test_group_order_limit(self):
+        stmt = parse(
+            "SELECT a, count(*) AS cnt FROM t GROUP BY a "
+            "ORDER BY cnt DESC, a LIMIT 10"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.order_by[0][1] is False  # DESC
+        assert stmt.order_by[1][1] is True
+        assert stmt.limit == 10
+
+    def test_explicit_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON c.y = b.y")
+        assert len(stmt.joins) == 2
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_update(self):
+        stmt = parse("UPDATE r SET b = s.b FROM s WHERE r.a = s.a")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.assignments[0][0] == "b"
+        assert stmt.from_tables[0].name == "s"
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', TRUE)")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.rows == [[1, "x", None], [2, "y", True]]
+
+    def test_insert_negative_number(self):
+        stmt = parse("INSERT INTO t VALUES (-5)")
+        assert stmt.rows == [[-5]]
+
+    def test_trailing_semicolon(self):
+        parse("SELECT 1 FROM t;")
+
+    def test_errors(self):
+        for bad in (
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * WHERE 1",
+            "TRUNCATE t",
+            "DELETE t",
+            "SELECT * FROM t GROUP a",
+            "SELECT * FROM t LIMIT 'x'",
+            "UPDATE t SET",
+            "SELECT * FROM t extra garbage )",
+        ):
+            with pytest.raises(SqlError):
+                parse(bad)
+
+    def test_aliases(self):
+        stmt = parse("SELECT t.a AS first, b second FROM tbl AS t")
+        assert stmt.items[0].alias == "first"
+        assert stmt.items[1].alias == "second"
+        assert stmt.tables[0].alias == "t"
+
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t")
+        agg = stmt.items[0].expr
+        assert agg.func == "count" and agg.arg is None

@@ -1,0 +1,51 @@
+"""The exception hierarchy: every engine error is catchable as ReproError."""
+
+import pytest
+
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ChannelError,
+    ExecutionError,
+    InvalidPlanError,
+    OptimizerError,
+    PartitionError,
+    ReproError,
+    SqlError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(CatalogError, ReproError)
+    assert issubclass(PartitionError, CatalogError)
+    assert issubclass(SqlError, ReproError)
+    assert issubclass(BindError, ReproError)
+    assert issubclass(OptimizerError, ReproError)
+    assert issubclass(InvalidPlanError, ReproError)
+    assert issubclass(ExecutionError, ReproError)
+    assert issubclass(ChannelError, ExecutionError)
+
+
+def test_sql_error_carries_position():
+    error = SqlError("bad token", position=17)
+    assert error.position == 17
+    assert "bad token" in str(error)
+
+
+def test_engine_failures_are_repro_errors():
+    """One catch-all suffices for library users."""
+    from repro import Database
+    from repro import types as t
+    from repro.catalog import TableSchema
+
+    db = Database(num_segments=2)
+    db.create_table("t", TableSchema.of(("a", t.INT)))
+    failing = [
+        "SELECT * FROM missing_table",
+        "SELECT nope FROM t",
+        "SELECT * FORM t",
+        "UPDATE t SET zzz = 1",
+    ]
+    for sql in failing:
+        with pytest.raises(ReproError):
+            db.sql(sql)

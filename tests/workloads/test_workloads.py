@@ -1,0 +1,107 @@
+"""Workload generators: schema shapes, data validity, query bindability."""
+
+import pytest
+
+from repro.workloads import synthetic, tpcds, tpch
+
+
+class TestTpch:
+    def test_scheme_partition_counts_match_table2(self):
+        for parts in tpch.TABLE2_SCENARIOS:
+            scheme = tpch.lineitem_scheme(parts)
+            assert scheme.num_leaves == parts
+
+    def test_rows_route_into_partitions(self):
+        db = tpch.build_lineitem_database(42, row_count=300, num_segments=2)
+        table = db.catalog.table("lineitem")
+        stats = db.stats.get(table)
+        assert stats.row_count == 300
+        assert sum(stats.leaf_rows.values()) == 300
+
+    def test_unpartitioned_baseline(self):
+        db = tpch.build_lineitem_database(None, row_count=50, num_segments=2)
+        assert not db.catalog.table("lineitem").is_partitioned
+        assert db.sql("SELECT count(*) FROM lineitem").rows == [(50,)]
+
+    def test_shipdate_fraction_bounds(self):
+        assert tpch.shipdate_for_fraction(0.0) == tpch.SHIPDATE_START
+        assert tpch.shipdate_for_fraction(1.0) == tpch.SHIPDATE_END
+
+    def test_generated_rows_are_deterministic(self):
+        a = list(tpch.generate_lineitem(20, seed=5))
+        b = list(tpch.generate_lineitem(20, seed=5))
+        assert a == b
+        c = list(tpch.generate_lineitem(20, seed=6))
+        assert a != c
+
+
+class TestTpcds:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return tpcds.build_database(fact_rows=300, num_segments=2)
+
+    def test_all_fact_tables_partitioned(self, db):
+        for name in tpcds.FACT_TABLES:
+            table = db.catalog.table(name)
+            assert table.is_partitioned
+            assert table.num_leaves == tpcds.FACT_PARTITIONS
+
+    def test_date_dim_covers_span(self, db):
+        result = db.sql("SELECT count(*), min(d_year), max(d_year) FROM date_dim")
+        count, lo, hi = result.rows[0]
+        assert count == tpcds.NUM_DAYS
+        assert lo == 1998 and hi == 2002
+
+    def test_workload_queries_all_plan_and_run(self, db):
+        queries = tpcds.workload_queries()
+        assert len(queries) >= 30
+        kinds = {q.kind for q in queries}
+        assert kinds == {"static", "dynamic", "none"}
+        for query in queries:
+            result = db.sql(query.sql)
+            assert result is not None, query.name
+
+    def test_fact_table_of(self):
+        queries = tpcds.workload_queries()
+        for query in queries:
+            assert tpcds.fact_table_of(query) in tpcds.FACT_TABLES
+
+    def test_dynamic_queries_eliminate_with_orca_only(self, db):
+        """Spot-check of the Table 3 signal on one dynamic query."""
+        query = next(
+            q for q in tpcds.workload_queries() if q.kind == "dynamic"
+        )
+        table = tpcds.fact_table_of(query)
+        orca = db.sql(query.sql)
+        planner = db.sql(query.sql, optimizer="planner")
+        assert orca.partitions_scanned(table) < planner.partitions_scanned(
+            table
+        )
+
+    def test_static_queries_eliminate_equally(self, db):
+        query = next(
+            q for q in tpcds.workload_queries() if q.kind == "static"
+        )
+        table = tpcds.fact_table_of(query)
+        orca = db.sql(query.sql)
+        planner = db.sql(query.sql, optimizer="planner")
+        assert orca.partitions_scanned(table) == planner.partitions_scanned(
+            table
+        )
+        assert orca.partitions_scanned(table) < tpcds.FACT_PARTITIONS
+
+
+class TestSynthetic:
+    def test_rs_database_shape(self):
+        db = synthetic.build_rs_database(num_parts=5, rows_per_table=100)
+        for name in ("r", "s"):
+            table = db.catalog.table(name)
+            assert table.num_leaves == 5
+            assert db.stats.get(table).row_count == 100
+
+    def test_join_and_update_queries_run(self):
+        db = synthetic.build_rs_database(num_parts=5, rows_per_table=100)
+        join = db.sql(synthetic.JOIN_QUERY)
+        assert all(row[1] == row[3] for row in join.rows)  # r.b == s.b
+        update = db.sql(synthetic.UPDATE_QUERY)
+        assert update.rows[0][0] == 100
