@@ -8,10 +8,37 @@ under ``benchmarks/results/`` so runs can be diffed against
 
 from __future__ import annotations
 
+import json
 import pathlib
 import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def measured_counters(result) -> dict:
+    """The execution's measured counters, read through the stable JSON
+    export (so the benchmarks exercise the same interface external tooling
+    consumes) — see docs/architecture.md, "Observability"."""
+    return json.loads(result.metrics.to_json())
+
+
+def table_counters(result, table: str) -> dict:
+    """Measured per-table scan counters: ``partitions_scanned``,
+    ``partitions_total``, ``rows_scanned``."""
+    tables = measured_counters(result)["tables"]
+    return tables.get(
+        table,
+        {"partitions_scanned": 0, "partitions_total": None, "rows_scanned": 0},
+    )
+
+
+def motion_counters(result) -> dict:
+    """Measured aggregate Motion traffic: ``motion_rows``/``motion_bytes``."""
+    totals = measured_counters(result)["totals"]
+    return {
+        "rows_moved": totals["motion_rows"],
+        "bytes_moved": totals["motion_bytes"],
+    }
 
 
 def emit(name: str, lines: list[str]) -> None:

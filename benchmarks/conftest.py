@@ -46,9 +46,13 @@ class WorkloadRun:
                 for _ in range(2):
                     repeat = self.db.execute_plan(plan)
                     elapsed = min(elapsed, repeat.elapsed_seconds)
+                # Read the measured counters from the metrics object (the
+                # executor's per-node instrumentation) instead of
+                # re-deriving them from the shared tracker.
+                stats = result.metrics.table_stats().get(table, {})
                 entry[config] = {
-                    "partitions": result.partitions_scanned(table),
-                    "rows_scanned": result.rows_scanned,
+                    "partitions": stats.get("partitions_scanned", 0),
+                    "rows_scanned": result.metrics.total_rows_scanned,
                     "elapsed": elapsed,
                     "table": table,
                 }

@@ -4,6 +4,10 @@ Number of partitions scanned per partitioned table, aggregated across the
 whole workload, Planner vs Orca.  The paper's claim: Orca scans at most as
 many partitions as Planner for every table, and up to ~80% fewer for some
 (web_returns in the paper).
+
+The per-query partition counts come straight from the executor's metrics
+layer (``result.metrics.table_stats()``, collected per DynamicScan /
+LeafScan node) rather than being re-derived from result rows.
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ import pytest
 
 from repro.workloads.tpch import TABLE2_SCENARIOS, build_lineitem_database
 
-from ._helpers import emit, format_table, timed
+from ._helpers import emit, format_table, table_counters, timed
 
 ROW_COUNT = 4000
 SEGMENTS = 2
@@ -26,6 +26,13 @@ _scenarios = [None] + sorted(TABLE2_SCENARIOS)
 def _run_full_scan(db, plan):
     result = db.execute_plan(plan)
     assert len(result.rows) == ROW_COUNT
+    # The measured counters must agree with the workload's ground truth:
+    # a full scan reads every row exactly once and opens every partition.
+    counters = table_counters(result, "lineitem")
+    assert counters["rows_scanned"] == ROW_COUNT
+    total = counters["partitions_total"]
+    if total is not None:  # partitioned scenarios only
+        assert counters["partitions_scanned"] == total
     return result
 
 
@@ -55,9 +62,14 @@ def test_report_table2(benchmark, databases):
 
 def _report_table2(databases):
     timings = {}
+    opened = {}
     for parts, db in databases.items():
         plan = db.plan(QUERY)
         timings[parts] = timed(lambda d=db, p=plan: _run_full_scan(d, p))
+        result = db.execute_plan(plan)
+        opened[parts] = table_counters(result, "lineitem")[
+            "partitions_scanned"
+        ]
     baseline = timings[None]
     rows = []
     for parts in sorted(TABLE2_SCENARIOS):
@@ -66,16 +78,20 @@ def _report_table2(databases):
             [
                 parts,
                 TABLE2_SCENARIOS[parts],
+                opened[parts],
                 f"{timings[parts] * 1000:.1f} ms",
                 f"{overhead:+.0f}%",
             ]
         )
     rows.append(
-        [0, "unpartitioned baseline", f"{baseline * 1000:.1f} ms", "-"]
+        [0, "unpartitioned baseline", 0, f"{baseline * 1000:.1f} ms", "-"]
     )
     emit(
         "table2_scan_overhead",
-        format_table(["#parts", "Description", "best time", "Overhead"], rows),
+        format_table(
+            ["#parts", "Description", "parts opened", "best time", "Overhead"],
+            rows,
+        ),
     )
     # Paper claim: overhead small and stable; allow generous simulator slack.
     worst = max(

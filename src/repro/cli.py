@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import datetime
 import random
+import re
 
 from .engine import ORCA, PLANNER, Database
 from .errors import ReproError
@@ -38,7 +39,12 @@ Meta commands:
   \\timing            toggle per-query timing output
   \\help              this text
   \\q                 quit
+SQL statements additionally support the EXPLAIN and EXPLAIN ANALYZE
+prefixes (the latter executes the query and annotates the plan with
+per-node actual rows, partitions scanned and Motion traffic).
 Everything else is executed as SQL (end with ';' or a blank line)."""
+
+_EXPLAIN_RE = re.compile(r"^explain(\s+analyze)?\b(.*)$", re.IGNORECASE | re.DOTALL)
 
 
 class ReplSession:
@@ -137,6 +143,19 @@ class ReplSession:
     def _run_sql(self, sql: str) -> str:
         if not sql:
             return ""
+        explain = _EXPLAIN_RE.match(sql.strip())
+        if explain is not None:
+            body = explain.group(2).strip().rstrip(";")
+            if not body:
+                return "usage: EXPLAIN [ANALYZE] SELECT ..."
+            try:
+                if explain.group(1):
+                    return self.db.explain_analyze(
+                        body, optimizer=self.optimizer
+                    )
+                return self.db.explain(body, optimizer=self.optimizer)
+            except ReproError as exc:
+                return f"error: {exc}"
         try:
             result = self.db.sql(sql, optimizer=self.optimizer)
         except ReproError as exc:
@@ -150,7 +169,7 @@ class ReplSession:
             lines.append(f"... ({len(result.rows)} rows total)")
         else:
             lines.append(f"({len(result.rows)} rows)")
-        scanned = result.tracker.total_partitions_scanned()
+        scanned = result.metrics.partitions_scanned()
         if scanned:
             lines.append(f"partitions scanned: {scanned}")
         if self.timing:

@@ -140,6 +140,20 @@ class Database:
     def explain(self, query: str, optimizer: str = ORCA, **options) -> str:
         return self.plan(query, optimizer, **options).explain()
 
+    def explain_analyze(
+        self,
+        query: str,
+        optimizer: str = ORCA,
+        params: Sequence[Any] | None = None,
+        **options,
+    ) -> str:
+        """Execute the query with full metrics collection and render the
+        physical plan annotated with per-node actuals (EXPLAIN ANALYZE)."""
+        result = self.sql(
+            query, optimizer, params=params, analyze=True, **options
+        )
+        return result.explain_analyze()
+
     # -- execution ---------------------------------------------------------------------
 
     def sql(
@@ -147,12 +161,18 @@ class Database:
         query: str,
         optimizer: str = ORCA,
         params: Sequence[Any] | None = None,
+        analyze: bool = False,
         **options,
     ) -> ExecutionResult:
-        """Parse, plan and execute one statement."""
+        """Parse, plan and execute one statement.
+
+        ``analyze=True`` enables per-node wall-clock timing collection on
+        top of the always-on row/partition/motion counters; the result's
+        ``metrics`` object and ``explain_analyze()`` expose them.
+        """
         statement = parse(query)
         if isinstance(statement, InsertStmt):
-            from .executor.context import ScanTracker
+            from .obs import MetricsCollector
 
             if statement.select is not None:
                 # INSERT ... SELECT: plan and run the query, then load its
@@ -167,25 +187,33 @@ class Database:
                         f"{len(plan.root.output_layout())} columns, table "
                         f"has {len(target.schema)}"
                     )
-                selected = self.executor.execute(plan, params)
+                selected = self.executor.execute(
+                    plan, params, analyze=analyze
+                )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
                     [(count,)],
                     ["inserted"],
-                    selected.tracker,
+                    selected.metrics,
                     selected.elapsed_seconds,
                 )
             table, rows = self.binder.bind_insert_rows(statement)
             count = self.insert(table, rows)
             return ExecutionResult(
-                [(count,)], ["inserted"], ScanTracker(), 0.0
+                [(count,)],
+                ["inserted"],
+                MetricsCollector(self.num_segments),
+                0.0,
             )
         logical = self.binder.bind(statement)
         engine = self.make_optimizer(optimizer, **options)
         plan = engine.optimize(logical, len(params) if params else 0)
-        return self.executor.execute(plan, params)
+        return self.executor.execute(plan, params, analyze=analyze)
 
     def execute_plan(
-        self, plan: Plan, params: Sequence[Any] | None = None
+        self,
+        plan: Plan,
+        params: Sequence[Any] | None = None,
+        analyze: bool = False,
     ) -> ExecutionResult:
-        return self.executor.execute(plan, params)
+        return self.executor.execute(plan, params, analyze=analyze)

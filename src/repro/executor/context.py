@@ -18,31 +18,17 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from ..catalog import Catalog
+from ..obs.metrics import MetricsCollector, ScanTracker
 from ..storage import StorageManager
 from .channels import ChannelRegistry, OidChannel
 
+__all__ = [
+    "COORDINATOR_SEGMENT",
+    "ExecContext",
+    "ScanTracker",  # re-exported for backward compatibility
+]
+
 COORDINATOR_SEGMENT = 0
-
-
-class ScanTracker:
-    """Per-query record of partitions and rows touched by scans."""
-
-    def __init__(self) -> None:
-        #: table name -> set of leaf OIDs actually scanned
-        self.partitions: dict[str, set[int]] = {}
-        self.rows_scanned = 0
-
-    def record_leaf(self, table_name: str, leaf_oid: int) -> None:
-        self.partitions.setdefault(table_name, set()).add(leaf_oid)
-
-    def record_rows(self, count: int) -> None:
-        self.rows_scanned += count
-
-    def partitions_scanned(self, table_name: str) -> int:
-        return len(self.partitions.get(table_name, ()))
-
-    def total_partitions_scanned(self) -> int:
-        return sum(len(oids) for oids in self.partitions.values())
 
 
 class ExecContext:
@@ -54,6 +40,7 @@ class ExecContext:
         storage: StorageManager,
         num_segments: int,
         params: Sequence[Any] | None = None,
+        metrics: MetricsCollector | None = None,
     ):
         self.catalog = catalog
         self.storage = storage
@@ -62,7 +49,14 @@ class ExecContext:
         self.channels = ChannelRegistry()
         #: id(motion op) -> list per segment of buffered rows
         self.motion_buffers: dict[int, list[list[tuple]]] = {}
-        self.tracker = ScanTracker()
+        self.metrics = (
+            metrics if metrics is not None else MetricsCollector(num_segments)
+        )
+
+    @property
+    def tracker(self) -> ScanTracker:
+        """Deprecated aggregate view; prefer :attr:`metrics`."""
+        return self.metrics.tracker
 
     def channel(self, part_scan_id: int, segment: int) -> OidChannel:
         return self.channels.channel(part_scan_id, segment)

@@ -23,37 +23,51 @@ from typing import Any, Sequence
 
 from ..catalog import Catalog
 from ..expr.eval import compile_expression
+from ..obs.metrics import MetricsCollector, ScanTracker
+from ..obs.render import render_explain_analyze
 from ..physical import ops as phys
 from ..physical.plan import Plan
 from ..storage import StorageManager
 from ..storage.distribution import segment_for, stable_hash
-from .context import COORDINATOR_SEGMENT, ExecContext, ScanTracker
+from .context import COORDINATOR_SEGMENT, ExecContext
 from .iterators import build_iterator
 
 
 class ExecutionResult:
-    """Rows plus the measurements the paper's experiments report."""
+    """Rows plus the measurements the paper's experiments report.
+
+    ``metrics`` is the full per-node :class:`MetricsCollector`;
+    ``tracker``, ``partitions_scanned`` and ``rows_scanned`` are thin
+    aliases over it, kept for older callers.
+    """
 
     def __init__(
         self,
         rows: list[tuple],
         column_names: list[str],
-        tracker: ScanTracker,
+        metrics: MetricsCollector,
         elapsed_seconds: float,
     ):
         self.rows = rows
         self.column_names = column_names
-        self.tracker = tracker
+        self.metrics = metrics
         self.elapsed_seconds = elapsed_seconds
 
+    @property
+    def tracker(self) -> ScanTracker:
+        """Deprecated aggregate view; prefer :attr:`metrics`."""
+        return self.metrics.tracker
+
     def partitions_scanned(self, table_name: str | None = None) -> int:
-        if table_name is not None:
-            return self.tracker.partitions_scanned(table_name)
-        return self.tracker.total_partitions_scanned()
+        return self.metrics.partitions_scanned(table_name)
 
     @property
     def rows_scanned(self) -> int:
-        return self.tracker.rows_scanned
+        return self.metrics.total_rows_scanned
+
+    def explain_analyze(self) -> str:
+        """The executed plan annotated with this run's actuals."""
+        return render_explain_analyze(self.metrics)
 
     def __iter__(self):
         return iter(self.rows)
@@ -82,25 +96,46 @@ class MppExecutor:
         self.num_segments = num_segments
 
     def execute(
-        self, plan: Plan, params: Sequence[Any] | None = None
+        self,
+        plan: Plan,
+        params: Sequence[Any] | None = None,
+        analyze: bool = False,
     ) -> ExecutionResult:
+        """Run the plan; ``analyze=True`` additionally collects per-node
+        wall-clock timings (row and partition counters are always on)."""
         plan.validate()
+        metrics = MetricsCollector(self.num_segments, timing=analyze)
+        metrics.register_plan(plan)
         started = time.perf_counter()
         ctx = ExecContext(
-            self.catalog, self.storage, self.num_segments, params
+            self.catalog, self.storage, self.num_segments, params, metrics
         )
-        for motion in _motions_deepest_first(plan.root):
+        # Slice k (k >= 1) is the subtree below the k-th Motion in
+        # post-order; slice 0 is the root slice.
+        for slice_id, motion in enumerate(
+            _motions_deepest_first(plan.root), start=1
+        ):
+            slice_started = time.perf_counter()
             self._run_motion(motion, ctx)
+            metrics.record_slice(
+                slice_id,
+                f"below {motion.name}",
+                time.perf_counter() - slice_started,
+            )
         rows: list[tuple] = []
+        root_started = time.perf_counter()
         for segment in range(self.num_segments):
             rows.extend(build_iterator(plan.root, segment, ctx))
+        metrics.record_slice(0, "root", time.perf_counter() - root_started)
         elapsed = time.perf_counter() - started
+        metrics.finish(elapsed)
         names = [name for _, name in plan.root.output_layout().slots]
-        return ExecutionResult(rows, names, ctx.tracker, elapsed)
+        return ExecutionResult(rows, names, metrics, elapsed)
 
     def _run_motion(self, motion: phys.Motion, ctx: ExecContext) -> None:
         buffer = ctx.motion_buffer(id(motion))
         child = motion.children[0]
+        record = ctx.metrics.record_motion
         if isinstance(motion, phys.RedistributeMotion):
             layout = child.output_layout()
             hash_fns = [
@@ -111,9 +146,11 @@ class MppExecutor:
             for row in build_iterator(child, segment, ctx):
                 if isinstance(motion, phys.GatherMotion):
                     buffer[COORDINATOR_SEGMENT].append(row)
+                    record(motion, "gather", COORDINATOR_SEGMENT, row)
                 elif isinstance(motion, phys.BroadcastMotion):
                     for target in range(self.num_segments):
                         buffer[target].append(row)
+                        record(motion, "broadcast", target, row)
                 else:
                     values = tuple(fn(row) for fn in hash_fns)
                     if len(values) == 1:
@@ -124,6 +161,7 @@ class MppExecutor:
                             % self.num_segments
                         )
                     buffer[target].append(row)
+                    record(motion, "redistribute", target, row)
 
 
 def _motions_deepest_first(root: phys.PhysicalOp) -> list[phys.Motion]:

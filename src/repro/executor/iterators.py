@@ -49,7 +49,18 @@ EXTRA_ITERATORS: dict[type, Callable[..., RowIter]] = {}
 def build_iterator(
     op: phys.PhysicalOp, segment: int, ctx: ExecContext
 ) -> RowIter:
-    """Instantiate the iterator tree for ``op`` on one segment."""
+    """Instantiate the iterator tree for ``op`` on one segment.
+
+    Every node's iterator is wrapped by the metrics collector: rows out
+    and loops are always counted; per-node wall time is accumulated when
+    the query runs with ``analyze=True``.
+    """
+    return ctx.metrics.instrument(op, segment, _raw_iterator(op, segment, ctx))
+
+
+def _raw_iterator(
+    op: phys.PhysicalOp, segment: int, ctx: ExecContext
+) -> RowIter:
     factory = EXTRA_ITERATORS.get(type(op))
     if factory is not None:
         return factory(op, segment, ctx)
@@ -100,7 +111,7 @@ def _scan_iter(op: phys.Scan, segment: int, ctx: ExecContext) -> RowIter:
     for row in ctx.storage.scan_table(segment, op.table.oid):
         count += 1
         yield row
-    ctx.tracker.record_rows(count)
+    ctx.metrics.record_scan_rows(op, op.table, segment, count)
 
 
 def _leaf_scan_iter(op: phys.LeafScan, segment: int, ctx: ExecContext) -> RowIter:
@@ -108,25 +119,26 @@ def _leaf_scan_iter(op: phys.LeafScan, segment: int, ctx: ExecContext) -> RowIte
         selected = ctx.channel(op.guard_scan_id, segment).consume()
         if op.leaf_oid not in selected:
             return
-    ctx.tracker.record_leaf(op.table.name, op.leaf_oid)
+    ctx.metrics.record_leaf(op, op.table, op.leaf_oid, segment)
     count = 0
     for row in ctx.storage.scan_table(segment, op.table.oid, [op.leaf_oid]):
         count += 1
         yield row
-    ctx.tracker.record_rows(count)
+    ctx.metrics.record_scan_rows(op, op.table, segment, count)
 
 
 def _dynamic_scan_iter(
     op: phys.DynamicScan, segment: int, ctx: ExecContext
 ) -> RowIter:
+    ctx.metrics.node(op).part_scan_id = op.part_scan_id
     oids = ctx.channel(op.part_scan_id, segment).consume()
     count = 0
     for oid in oids:
-        ctx.tracker.record_leaf(op.table.name, oid)
+        ctx.metrics.record_leaf(op, op.table, oid, segment)
         for row in ctx.storage.scan_table(segment, op.table.oid, [oid]):
             count += 1
             yield row
-    ctx.tracker.record_rows(count)
+    ctx.metrics.record_scan_rows(op, op.table, segment, count)
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +295,12 @@ def _partition_selector_iter(
     child = op.children[0] if op.children else None
     child_layout = child.output_layout() if child is not None else None
     program = _SelectorProgram(spec, child_layout, ctx.params)
+    ctx.metrics.node(op).part_scan_id = spec.part_scan_id
+    ctx.metrics.record_selector(
+        spec.part_scan_id,
+        "dynamic" if program.has_streaming else "static",
+        spec.table.num_leaves,
+    )
 
     if not program.has_streaming:
         # Static selection (constant predicates, parameters, or Φ): compute

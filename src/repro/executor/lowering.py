@@ -160,6 +160,14 @@ def _propagating_project_iter(op: PropagatingProject, segment: int, ctx: ExecCon
     child = op.children[0]
     scan_id = op.produces_part_scan_id
     channel = ctx.channel(scan_id, segment)
+    ctx.metrics.node(op).part_scan_id = scan_id
+    # 'oids' is the Figure 15(b) constant/range form (static elimination);
+    # 'selection' is the per-tuple join form (dynamic elimination).
+    ctx.metrics.record_selector(
+        scan_id,
+        "static" if op.mode == "oids" else "dynamic",
+        op.table.num_leaves,
+    )
     if op.mode == "oids":
         layout = child.output_layout()
         oid_index = layout.resolve(ColumnRef(OID_COLUMN))

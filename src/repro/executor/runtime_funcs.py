@@ -110,5 +110,11 @@ def partition_constraints(
 def partition_propagation(
     ctx: ExecContext, part_scan_id: int, segment: int, oid: int
 ) -> None:
-    """Push ``oid`` to the DynamicScan with ``part_scan_id`` on ``segment``."""
+    """Push ``oid`` to the DynamicScan with ``part_scan_id`` on ``segment``.
+
+    Every selected partition — static or dynamic, native selector or the
+    Section 3.2 lowered form — flows through here, which makes it the one
+    place the per-DynamicScan partition-selection counters are recorded.
+    """
+    ctx.metrics.record_propagation(part_scan_id, segment, oid)
     ctx.channel(part_scan_id, segment).push(oid)

@@ -1,0 +1,27 @@
+"""Observability: per-node execution metrics and EXPLAIN ANALYZE.
+
+The paper's whole evaluation (Section 4) is built on runtime observables —
+partitions scanned per DynamicScan, rows moved per Motion, per-slice wall
+time.  This package makes those observables first class:
+
+* :class:`MetricsCollector` — per-query collector threaded through
+  :class:`~repro.executor.context.ExecContext`; every plan node gets
+  per-segment row/loop/time counters, scans get partition counters,
+  Motions get rows/bytes-moved counters, and each PartitionSelector
+  records its elimination mode (static vs dynamic) and selectivity.
+* :func:`render_explain_analyze` — the physical plan annotated with
+  actuals next to the optimizer's estimates (``EXPLAIN ANALYZE``).
+* ``MetricsCollector.to_json()`` — a stable JSON export consumed by the
+  CLI, the benchmarks and external tooling (schema documented in
+  ``docs/architecture.md``).
+"""
+
+from .metrics import MetricsCollector, NodeMetrics, ScanTracker
+from .render import render_explain_analyze
+
+__all__ = [
+    "MetricsCollector",
+    "NodeMetrics",
+    "ScanTracker",
+    "render_explain_analyze",
+]

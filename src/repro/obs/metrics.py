@@ -1,0 +1,452 @@
+"""The per-query metrics collector.
+
+One :class:`MetricsCollector` lives for one query execution.  It is
+deliberately decoupled from the physical operator classes: the executor
+registers the plan tree up front (capturing names, details and estimates),
+and the iterators report into it through a handful of typed recording
+methods.  All counters are scoped per (node, segment); slice wall times
+are scoped per slice.  Aggregates are computed on demand.
+
+Row counting is always on (one generator frame and one integer increment
+per row per node); per-node wall-clock timing is collected only when the
+query runs with ``analyze=True``, because it costs two ``perf_counter``
+calls per row per node.
+
+The JSON export (:meth:`MetricsCollector.to_dict` /
+:meth:`MetricsCollector.to_json`) is the stable interface consumed by the
+CLI, the benchmarks and the tests; its schema is documented in
+``docs/architecture.md`` ("Observability").
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterator
+
+#: bump when the shape of :meth:`MetricsCollector.to_dict` changes
+METRICS_SCHEMA_VERSION = 1
+
+
+class ScanTracker:
+    """Aggregate per-query record of partitions and rows touched by scans.
+
+    Kept as the backward-compatible summary view (``result.tracker``); the
+    per-node detail lives in :class:`NodeMetrics`.
+    """
+
+    def __init__(self) -> None:
+        #: table name -> set of leaf OIDs actually scanned
+        self.partitions: dict[str, set[int]] = {}
+        self.rows_scanned = 0
+
+    def record_leaf(self, table_name: str, leaf_oid: int) -> None:
+        self.partitions.setdefault(table_name, set()).add(leaf_oid)
+
+    def record_rows(self, count: int) -> None:
+        self.rows_scanned += count
+
+    def partitions_scanned(self, table_name: str) -> int:
+        return len(self.partitions.get(table_name, ()))
+
+    def total_partitions_scanned(self) -> int:
+        return sum(len(oids) for oids in self.partitions.values())
+
+
+class NodeMetrics:
+    """Actuals for one physical plan node, scoped per segment."""
+
+    __slots__ = (
+        "node_id",
+        "op",
+        "detail",
+        "parent",
+        "depth",
+        "estimated_rows",
+        "distribution",
+        "rows_out",
+        "loops",
+        "time_s",
+        "table_name",
+        "partitions",
+        "partitions_total",
+        "rows_scanned",
+        "motion_kind",
+        "rows_by_target",
+        "bytes_moved",
+        "part_scan_id",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        op: str,
+        num_segments: int,
+        detail: str = "",
+        parent: int | None = None,
+        depth: int = 0,
+        estimated_rows: float | None = None,
+        distribution: str | None = None,
+    ):
+        self.node_id = node_id
+        self.op = op
+        self.detail = detail
+        self.parent = parent
+        self.depth = depth
+        self.estimated_rows = estimated_rows
+        self.distribution = distribution
+        #: rows produced by this node, per segment
+        self.rows_out = [0] * num_segments
+        #: iterator instantiations, per segment
+        self.loops = [0] * num_segments
+        #: inclusive wall time (self + children), per segment; only filled
+        #: when timing collection is enabled
+        self.time_s = [0.0] * num_segments
+        # scan-specific
+        self.table_name: str | None = None
+        #: leaf OIDs scanned, per segment
+        self.partitions: list[set[int]] = [set() for _ in range(num_segments)]
+        self.partitions_total: int | None = None
+        self.rows_scanned = [0] * num_segments
+        # motion-specific
+        self.motion_kind: str | None = None
+        self.rows_by_target = [0] * num_segments
+        self.bytes_moved = 0
+        # selector / dynamic-scan linkage
+        self.part_scan_id: int | None = None
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def actual_rows(self) -> int:
+        return sum(self.rows_out)
+
+    @property
+    def total_loops(self) -> int:
+        return sum(self.loops)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self.time_s)
+
+    @property
+    def partitions_scanned(self) -> int:
+        return len(set().union(*self.partitions)) if self.partitions else 0
+
+    @property
+    def total_rows_scanned(self) -> int:
+        return sum(self.rows_scanned)
+
+    @property
+    def rows_moved(self) -> int:
+        return sum(self.rows_by_target)
+
+    @property
+    def is_scan(self) -> bool:
+        return self.table_name is not None
+
+    @property
+    def is_motion(self) -> bool:
+        return self.motion_kind is not None
+
+    def to_dict(self, timing: bool = False) -> dict:
+        node: dict[str, Any] = {
+            "id": self.node_id,
+            "op": self.op,
+            "detail": self.detail,
+            "parent": self.parent,
+            "depth": self.depth,
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "rows_by_segment": list(self.rows_out),
+            "loops": self.total_loops,
+        }
+        node["time_ms"] = self.total_time_s * 1000.0 if timing else None
+        if self.is_scan:
+            node["scan"] = {
+                "table": self.table_name,
+                "partitions_scanned": self.partitions_scanned,
+                "partitions_total": self.partitions_total,
+                "rows_scanned": self.total_rows_scanned,
+            }
+        if self.is_motion:
+            node["motion"] = {
+                "kind": self.motion_kind,
+                "rows_moved": self.rows_moved,
+                "rows_by_target": list(self.rows_by_target),
+                "bytes_moved": self.bytes_moved,
+            }
+        if self.part_scan_id is not None:
+            node["part_scan_id"] = self.part_scan_id
+        return node
+
+
+class MetricsCollector:
+    """All measurements of one query execution.
+
+    The executor registers the plan (:meth:`register_plan`), wraps every
+    iterator through :meth:`instrument`, and the scan / selector / motion
+    recording methods fill in the operator-specific counters.
+    """
+
+    def __init__(self, num_segments: int, timing: bool = False):
+        self.num_segments = num_segments
+        self.timing = timing
+        self.tracker = ScanTracker()
+        self.nodes: list[NodeMetrics] = []
+        self.elapsed_seconds = 0.0
+        #: part_scan_id -> {"mode", "total", "selected" per-segment sets}
+        self.selectors: dict[int, dict] = {}
+        #: slice_id -> {"label", "seconds"}
+        self.slices: list[dict] = []
+        #: table name -> total leaf count (for k/N reporting)
+        self._table_totals: dict[str, int] = {}
+        self._by_op: dict[int, NodeMetrics] = {}
+        self._plan = None  # pinned so id(op) keys stay unique
+
+    # -- plan registration --------------------------------------------------
+
+    def register_plan(self, plan) -> None:
+        """Pre-order walk capturing the tree shape, names and estimates."""
+        self._plan = plan
+
+        def visit(op, parent: int | None, depth: int) -> None:
+            node = NodeMetrics(
+                len(self.nodes),
+                op.name,
+                self.num_segments,
+                detail=op.describe(),
+                parent=parent,
+                depth=depth,
+                estimated_rows=op.estimated_rows,
+                distribution=(
+                    repr(op.distribution)
+                    if op.distribution is not None
+                    else None
+                ),
+            )
+            self.nodes.append(node)
+            self._by_op[id(op)] = node
+            for child in op.children:
+                visit(child, node.node_id, depth + 1)
+
+        visit(plan.root, None, 0)
+
+    def node(self, op) -> NodeMetrics:
+        """The metrics record for a plan operator (auto-registers ops that
+        were not part of the registered tree, e.g. hand-built subtrees)."""
+        found = self._by_op.get(id(op))
+        if found is None:
+            found = NodeMetrics(
+                len(self.nodes),
+                getattr(op, "name", type(op).__name__),
+                self.num_segments,
+                detail=op.describe() if hasattr(op, "describe") else "",
+            )
+            self.nodes.append(found)
+            self._by_op[id(op)] = found
+        return found
+
+    # -- generic per-node instrumentation -----------------------------------
+
+    def instrument(self, op, segment: int, inner: Iterator[tuple]):
+        """Wrap one node's iterator with row counting (and timing when
+        enabled).  Time is inclusive of children, like EXPLAIN ANALYZE."""
+        node = self.node(op)
+        node.loops[segment] += 1
+        if self.timing:
+            return _timed_iter(node, segment, inner)
+        return _counted_iter(node, segment, inner)
+
+    # -- scans --------------------------------------------------------------
+
+    def record_leaf(self, op, table, leaf_oid: int, segment: int) -> None:
+        """One leaf partition opened by a (Dynamic/Leaf)Scan."""
+        self.tracker.record_leaf(table.name, leaf_oid)
+        node = self.node(op)
+        node.table_name = table.name
+        if node.partitions_total is None:
+            node.partitions_total = table.num_leaves
+            self._table_totals[table.name] = table.num_leaves
+        node.partitions[segment].add(leaf_oid)
+
+    def record_scan_rows(self, op, table, segment: int, count: int) -> None:
+        """Raw rows read from storage by a scan node."""
+        self.tracker.record_rows(count)
+        node = self.node(op)
+        node.table_name = table.name
+        node.rows_scanned[segment] += count
+
+    # -- partition selection ------------------------------------------------
+
+    def record_selector(
+        self, part_scan_id: int, mode: str, total: int
+    ) -> None:
+        """Declare a producer's elimination mode: 'static' (computed once,
+        before any tuple flows) or 'dynamic' (per streamed tuple)."""
+        entry = self._selector(part_scan_id)
+        entry["mode"] = mode
+        entry["total"] = total
+
+    def record_propagation(
+        self, part_scan_id: int, segment: int, oid: int
+    ) -> None:
+        """One OID pushed through ``partition_propagation`` (Table 1)."""
+        entry = self._selector(part_scan_id)
+        entry["selected"][segment].add(oid)
+        entry["pushed"] += 1
+
+    def _selector(self, part_scan_id: int) -> dict:
+        entry = self.selectors.get(part_scan_id)
+        if entry is None:
+            entry = {
+                "mode": None,
+                "total": None,
+                "selected": [set() for _ in range(self.num_segments)],
+                "pushed": 0,
+            }
+            self.selectors[part_scan_id] = entry
+        return entry
+
+    def selector_summary(self, part_scan_id: int) -> dict | None:
+        entry = self.selectors.get(part_scan_id)
+        if entry is None:
+            return None
+        selected: set[int] = set().union(*entry["selected"])
+        return {
+            "part_scan_id": part_scan_id,
+            "mode": entry["mode"],
+            "partitions_selected": len(selected),
+            "partitions_total": entry["total"],
+            "oids_pushed": entry["pushed"],
+        }
+
+    # -- motions ------------------------------------------------------------
+
+    def record_motion(
+        self, op, kind: str, target_segment: int, row: tuple
+    ) -> None:
+        """One row routed by a Motion to ``target_segment``."""
+        node = self.node(op)
+        node.motion_kind = kind
+        node.rows_by_target[target_segment] += 1
+        node.bytes_moved += _row_bytes(row)
+
+    # -- slices -------------------------------------------------------------
+
+    def record_slice(self, slice_id: int, label: str, seconds: float) -> None:
+        self.slices.append(
+            {"id": slice_id, "label": label, "seconds": seconds}
+        )
+
+    def finish(self, elapsed_seconds: float) -> None:
+        self.elapsed_seconds = elapsed_seconds
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def total_rows_scanned(self) -> int:
+        return self.tracker.rows_scanned
+
+    def partitions_scanned(self, table_name: str | None = None) -> int:
+        if table_name is not None:
+            return self.tracker.partitions_scanned(table_name)
+        return self.tracker.total_partitions_scanned()
+
+    def table_stats(self) -> dict[str, dict]:
+        """Per-table scan summary: partitions scanned / total, rows read."""
+        stats: dict[str, dict] = {}
+        for name, oids in self.tracker.partitions.items():
+            stats[name] = {
+                "partitions_scanned": len(oids),
+                "partitions_total": self._table_totals.get(name),
+                "rows_scanned": 0,
+            }
+        for node in self.nodes:
+            if node.table_name is None:
+                continue
+            entry = stats.setdefault(
+                node.table_name,
+                {
+                    "partitions_scanned": 0,
+                    "partitions_total": self._table_totals.get(
+                        node.table_name
+                    ),
+                    "rows_scanned": 0,
+                },
+            )
+            entry["rows_scanned"] += node.total_rows_scanned
+        return stats
+
+    def motion_stats(self) -> dict:
+        """Aggregate Motion traffic, total and per kind."""
+        by_kind: dict[str, dict] = {}
+        for node in self.nodes:
+            if not node.is_motion:
+                continue
+            entry = by_kind.setdefault(
+                node.motion_kind, {"rows_moved": 0, "bytes_moved": 0}
+            )
+            entry["rows_moved"] += node.rows_moved
+            entry["bytes_moved"] += node.bytes_moved
+        return {
+            "rows_moved": sum(e["rows_moved"] for e in by_kind.values()),
+            "bytes_moved": sum(e["bytes_moved"] for e in by_kind.values()),
+            "by_kind": by_kind,
+        }
+
+    # -- export -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        motion = self.motion_stats()
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "elapsed_seconds": self.elapsed_seconds,
+            "num_segments": self.num_segments,
+            "timing_collected": self.timing,
+            "nodes": [node.to_dict(self.timing) for node in self.nodes],
+            "partition_selectors": {
+                str(scan_id): self.selector_summary(scan_id)
+                for scan_id in sorted(self.selectors)
+            },
+            "slices": list(self.slices),
+            "tables": self.table_stats(),
+            "totals": {
+                "rows_scanned": self.total_rows_scanned,
+                "partitions_scanned": self.partitions_scanned(),
+                "motion_rows": motion["rows_moved"],
+                "motion_bytes": motion["bytes_moved"],
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+def _counted_iter(node: NodeMetrics, segment: int, inner):
+    rows_out = node.rows_out
+    for row in inner:
+        rows_out[segment] += 1
+        yield row
+
+
+def _timed_iter(node: NodeMetrics, segment: int, inner):
+    rows_out = node.rows_out
+    time_s = node.time_s
+    perf = time.perf_counter
+    while True:
+        start = perf()
+        try:
+            row = next(inner)
+        except StopIteration:
+            time_s[segment] += perf() - start
+            return
+        time_s[segment] += perf() - start
+        rows_out[segment] += 1
+        yield row
+
+
+def _row_bytes(row: tuple) -> int:
+    """Cheap serialized-size estimate of one tuple (repr length plus a
+    fixed per-field framing overhead), the basis of bytes-moved counters."""
+    return sum(len(repr(value)) for value in row) + 8 * len(row)

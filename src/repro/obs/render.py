@@ -1,0 +1,80 @@
+"""EXPLAIN ANALYZE rendering: the plan tree annotated with actuals.
+
+The collector's registered node list is already a pre-order walk of the
+plan, so rendering needs no access to the physical operator objects —
+each line mirrors :meth:`repro.physical.plan.Plan.explain` and appends
+the measured counters in parentheses:
+
+.. code-block:: text
+
+    GatherMotion [gathered] rows≈470 (actual rows=497; moved 497 rows, 13.1 KB)
+      HashAgg (...) rows≈470 (actual rows=497)
+        DynamicScan (1, orders AS orders) rows≈500 (actual rows=497; partitions: 3/24)
+        ...
+    PartitionSelector 1: static, selected 3/24 partitions
+    Slice 0 (root): 1.84 ms
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsCollector, NodeMetrics
+
+
+def render_explain_analyze(metrics: MetricsCollector) -> str:
+    """The annotated plan plus selector and slice summaries."""
+    lines = [_render_node(node, metrics) for node in metrics.nodes]
+    for scan_id in sorted(metrics.selectors):
+        summary = metrics.selector_summary(scan_id)
+        assert summary is not None
+        mode = summary["mode"] or "unknown"
+        total = summary["partitions_total"]
+        lines.append(
+            f"PartitionSelector {scan_id}: {mode}, selected "
+            f"{summary['partitions_selected']}/{total if total is not None else '?'}"
+            " partitions"
+        )
+    for entry in metrics.slices:
+        lines.append(
+            f"Slice {entry['id']} ({entry['label']}): "
+            f"{entry['seconds'] * 1000:.2f} ms"
+        )
+    if metrics.elapsed_seconds:
+        lines.append(f"Total: {metrics.elapsed_seconds * 1000:.2f} ms")
+    return "\n".join(lines)
+
+
+def _render_node(node: NodeMetrics, metrics: MetricsCollector) -> str:
+    line = "  " * node.depth + node.op
+    if node.detail:
+        line += f" ({node.detail})"
+    if node.distribution is not None:
+        line += f" [{node.distribution}]"
+    if node.estimated_rows is not None:
+        line += f" rows≈{node.estimated_rows:.0f}"
+    annotations = [f"actual rows={node.actual_rows}"]
+    if node.total_loops != 1:
+        annotations.append(f"loops={node.total_loops}")
+    if metrics.timing:
+        annotations.append(f"time={node.total_time_s * 1000:.2f} ms")
+    if node.is_scan and node.partitions_total is not None:
+        tag = f"partitions: {node.partitions_scanned}/{node.partitions_total}"
+        if node.part_scan_id is not None:
+            summary = metrics.selector_summary(node.part_scan_id)
+            if summary is not None and summary["mode"] is not None:
+                tag += f", {summary['mode']}"
+        annotations.append(tag)
+    if node.is_scan and node.total_rows_scanned:
+        annotations.append(f"rows scanned={node.total_rows_scanned}")
+    if node.is_motion:
+        annotations.append(
+            f"moved {node.rows_moved} rows, {_human_bytes(node.bytes_moved)}"
+        )
+    return line + " (" + "; ".join(annotations) + ")"
+
+
+def _human_bytes(count: int) -> str:
+    if count >= 1024 * 1024:
+        return f"{count / (1024 * 1024):.1f} MB"
+    if count >= 1024:
+        return f"{count / 1024:.1f} KB"
+    return f"{count} B"

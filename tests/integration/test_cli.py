@@ -74,3 +74,21 @@ def test_help_and_empty():
     assert "Meta commands" in repl.handle_line("\\help")
     assert repl.handle_line("") == ""
     assert "no tables" in repl.handle_line("\\d")
+
+
+def test_explain_statement(session):
+    plan = session.handle_line("EXPLAIN SELECT count(*) FROM orders;")
+    assert "DynamicScan" in plan
+    assert "actual rows" not in plan  # plain EXPLAIN does not execute
+
+
+def test_explain_analyze_statement(session):
+    output = session.handle_line(
+        "EXPLAIN ANALYZE SELECT avg(amount) FROM orders "
+        "WHERE date BETWEEN '10-01-2013' AND '12-31-2013';"
+    )
+    assert "actual rows=" in output
+    assert "partitions: 3/24" in output
+    assert "Slice 0 (root):" in output
+    assert "usage: EXPLAIN" in session.handle_line("explain;")
+    assert "error:" in session.handle_line("EXPLAIN ANALYZE SELECT nope;")

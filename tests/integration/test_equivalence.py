@@ -2,6 +2,7 @@
 exactly what a naive serial reference evaluation returns, and both
 optimizers must agree with each other."""
 
+import json
 import random
 
 import pytest
@@ -112,6 +113,31 @@ def test_optimizers_agree(cutoff, grp):
         orca = DB.sql(sql)
         planner = DB.sql(sql, optimizer="planner")
         assert approx_rows(orca.rows, planner.rows), sql
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounds, st.integers(min_value=0, max_value=400))
+def test_metrics_pruning_bounds(lo, width):
+    """With analyze=True, the measured counters obey the paper's ordering:
+    partitions(orca) <= partitions(planner) <= total leaves, and the
+    metrics' root row count equals the returned row count."""
+    hi = lo + width
+    sql = f"SELECT id, val FROM facts WHERE key BETWEEN {lo} AND {hi}"
+    orca = DB.sql(sql, analyze=True)
+    planner = DB.sql(sql, optimizer="planner", analyze=True)
+    orca_parts = orca.metrics.partitions_scanned("facts")
+    planner_parts = planner.metrics.partitions_scanned("facts")
+    assert orca_parts <= planner_parts <= PARTS
+    for result in (orca, planner):
+        data = json.loads(result.metrics.to_json())
+        assert data["nodes"][0]["actual_rows"] == len(result.rows)
+        table = data["tables"].get("facts")
+        if table is not None:
+            assert (
+                table["partitions_scanned"]
+                == result.metrics.partitions_scanned("facts")
+            )
+    assert sorted(orca.rows) == sorted(planner.rows)
 
 
 @settings(max_examples=20, deadline=None)
