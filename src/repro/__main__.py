@@ -1,5 +1,11 @@
-"""``python -m repro`` entry point: the interactive shell."""
+"""``python -m repro`` entry point: the interactive shell.
+
+Exits non-zero when a scripted invocation (stdin not a tty) had any
+statement fail, so shell pipelines can detect errors.
+"""
+
+import sys
 
 from .cli import main
 
-main()
+sys.exit(main())

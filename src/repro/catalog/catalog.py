@@ -10,7 +10,7 @@ around these lookups.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping
+from typing import Iterator, Mapping
 
 from ..errors import CatalogError, PartitionError
 from .constraints import IntervalSet

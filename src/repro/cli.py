@@ -25,6 +25,7 @@ import re
 
 from .engine import ORCA, PLANNER, Database
 from .errors import ReproError
+from .resilience import INJECTION_POINTS, TRIGGER_MODES
 
 PROMPT = "repro=# "
 CONTINUATION = "repro-# "
@@ -37,14 +38,22 @@ Meta commands:
   \\explain SQL       show the physical plan for SQL
   \\optimizer [NAME]  show or switch the optimizer (orca | planner)
   \\timing            toggle per-query timing output
+  \\health            show segment health (primaries, mirrors, failovers)
   \\help              this text
   \\q                 quit
+SET statements configure the session:
+  SET inject_fault POINT [segment=N] [mode=fail_once|fail_n|always]
+                   [n=K] [skip=K] [transient];      arm a fault
+  SET inject_fault off;                             disarm all faults
+  SET timeout_seconds V;   SET timeout_seconds off; per-query timeout
+  SET max_rows N;          SET max_rows off;        buffered-row budget
 SQL statements additionally support the EXPLAIN and EXPLAIN ANALYZE
 prefixes (the latter executes the query and annotates the plan with
 per-node actual rows, partitions scanned and Motion traffic).
 Everything else is executed as SQL (end with ';' or a blank line)."""
 
 _EXPLAIN_RE = re.compile(r"^explain(\s+analyze)?\b(.*)$", re.IGNORECASE | re.DOTALL)
+_SET_RE = re.compile(r"^set\s+(\w+)\b(.*)$", re.IGNORECASE | re.DOTALL)
 
 
 class ReplSession:
@@ -55,6 +64,13 @@ class ReplSession:
         self.optimizer = ORCA
         self.timing = False
         self.done = False
+        #: count of statements that ended in an ERROR line — scripted
+        #: invocations (``python -m repro < file.sql``) exit non-zero when
+        #: any statement failed
+        self.errors = 0
+        #: session guardrails applied to every query
+        self.timeout_seconds: float | None = None
+        self.max_rows: int | None = None
         self._buffer: list[str] = []
 
     # -- line protocol -----------------------------------------------------
@@ -102,6 +118,17 @@ class ReplSession:
         if name == "\\timing":
             self.timing = not self.timing
             return f"timing is {'on' if self.timing else 'off'}"
+        if name == "\\health":
+            status = self.db.health.status()
+            lines = [
+                "segment health:",
+                f"  primaries: {' '.join(status['primaries'])}",
+                f"  mirrors:   {' '.join(status['mirrors'])}",
+                f"  failovers: {status['failover_count']}",
+            ]
+            if any(status["mirror_reads"]):
+                lines.append(f"  mirror reads: {status['mirror_reads']}")
+            return "\n".join(lines)
         return f"unknown command {name!r}; try \\help"
 
     def _describe(self, name: str) -> str:
@@ -132,13 +159,23 @@ class ReplSession:
             )
         return "\n".join(lines)
 
+    def _error(self, exc: ReproError) -> str:
+        """Render a failed statement: ``ERROR (<stage>): <message>``.
+
+        The stage comes from the error class (sql, bind, optimizer,
+        execution, ...) so a user can tell a parse failure from a runtime
+        one without a traceback."""
+        self.errors += 1
+        stage = getattr(exc, "stage", "engine")
+        return f"ERROR ({stage}): {exc}"
+
     def _explain(self, sql: str) -> str:
         if not sql:
             return "usage: \\explain SELECT ..."
         try:
             return self.db.explain(sql.rstrip(";"), optimizer=self.optimizer)
         except ReproError as exc:
-            return f"error: {exc}"
+            return self._error(exc)
 
     def _run_sql(self, sql: str) -> str:
         if not sql:
@@ -150,16 +187,29 @@ class ReplSession:
                 return "usage: EXPLAIN [ANALYZE] SELECT ..."
             try:
                 if explain.group(1):
+                    # ANALYZE executes the query, so session guardrails
+                    # apply just as they do to a plain statement.
                     return self.db.explain_analyze(
-                        body, optimizer=self.optimizer
+                        body,
+                        optimizer=self.optimizer,
+                        timeout=self.timeout_seconds,
+                        max_rows=self.max_rows,
                     )
                 return self.db.explain(body, optimizer=self.optimizer)
             except ReproError as exc:
-                return f"error: {exc}"
+                return self._error(exc)
+        setting = _SET_RE.match(sql.strip())
+        if setting is not None:
+            return self._set(setting.group(1).lower(), setting.group(2).strip())
         try:
-            result = self.db.sql(sql, optimizer=self.optimizer)
+            result = self.db.sql(
+                sql,
+                optimizer=self.optimizer,
+                timeout=self.timeout_seconds,
+                max_rows=self.max_rows,
+            )
         except ReproError as exc:
-            return f"error: {exc}"
+            return self._error(exc)
         lines = []
         if result.column_names:
             lines.append(" | ".join(result.column_names))
@@ -172,9 +222,93 @@ class ReplSession:
         scanned = result.metrics.partitions_scanned()
         if scanned:
             lines.append(f"partitions scanned: {scanned}")
+        if result.metrics.retry_count or result.metrics.failover_count:
+            lines.append(
+                f"resilience: {result.metrics.retry_count} retries, "
+                f"{result.metrics.failover_count} failovers"
+            )
         if self.timing:
             lines.append(f"time: {result.elapsed_seconds * 1000:.2f} ms")
         return "\n".join(lines)
+
+    # -- SET statements ------------------------------------------------------
+
+    def _set(self, name: str, argument: str) -> str:
+        argument = argument.rstrip(";").strip()
+        if argument.startswith("="):
+            argument = argument[1:].strip()
+        if name == "inject_fault":
+            return self._set_inject_fault(argument)
+        if name == "timeout_seconds":
+            if argument.lower() in ("off", "none", ""):
+                self.timeout_seconds = None
+                return "timeout_seconds is off"
+            try:
+                value = float(argument)
+            except ValueError:
+                return f"ERROR (sql): invalid timeout_seconds {argument!r}"
+            self.timeout_seconds = value
+            return f"timeout_seconds is {value}"
+        if name == "max_rows":
+            if argument.lower() in ("off", "none", ""):
+                self.max_rows = None
+                return "max_rows is off"
+            try:
+                value = int(argument)
+            except ValueError:
+                return f"ERROR (sql): invalid max_rows {argument!r}"
+            self.max_rows = value
+            return f"max_rows is {value}"
+        return f"ERROR (sql): unknown setting {name!r}"
+
+    def _set_inject_fault(self, argument: str) -> str:
+        """``SET inject_fault POINT [segment=N] [mode=M] [n=K] [skip=K]
+        [transient]`` — or ``SET inject_fault off`` to disarm."""
+        if not argument:
+            specs = self.db.faults.specs()
+            if not specs:
+                return "no faults armed"
+            return "\n".join(f"armed: {spec}" for spec in specs)
+        words = argument.split()
+        if words[0].lower() in ("off", "reset", "none"):
+            self.db.faults.disarm()
+            return "faults disarmed"
+        point = words[0].lower()
+        if point not in INJECTION_POINTS:
+            return (
+                f"ERROR (sql): unknown injection point {point!r} "
+                f"(one of: {', '.join(sorted(INJECTION_POINTS))})"
+            )
+        kwargs: dict = {}
+        for word in words[1:]:
+            key, eq, value = word.partition("=")
+            key = key.lower()
+            if not eq:
+                if key == "transient":
+                    kwargs["transient"] = True
+                    continue
+                return f"ERROR (sql): malformed fault option {word!r}"
+            if key == "segment":
+                try:
+                    kwargs["segment"] = int(value)
+                except ValueError:
+                    return f"ERROR (sql): invalid segment {value!r}"
+            elif key == "mode":
+                if value.lower() not in TRIGGER_MODES:
+                    return (
+                        f"ERROR (sql): unknown mode {value!r} "
+                        f"(one of: {', '.join(sorted(TRIGGER_MODES))})"
+                    )
+                kwargs["mode"] = value.lower()
+            elif key in ("n", "skip"):
+                try:
+                    kwargs[key] = int(value)
+                except ValueError:
+                    return f"ERROR (sql): invalid {key} {value!r}"
+            else:
+                return f"ERROR (sql): unknown fault option {key!r}"
+        spec = self.db.faults.arm(point, **kwargs)
+        return f"armed: {spec}"
 
     def _load_demo(self) -> str:
         from .catalog import (
@@ -263,19 +397,29 @@ def _render(value) -> str:
     return str(value)
 
 
-def main() -> None:  # pragma: no cover - interactive loop
+def main() -> int:  # pragma: no cover - interactive loop
+    import sys
+
     session = ReplSession()
-    print("repro shell — \\help for commands, \\demo for sample data")
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("repro shell — \\help for commands, \\demo for sample data")
     while not session.done:
         try:
-            line = input(session.prompt)
+            line = input(session.prompt if interactive else "")
         except (EOFError, KeyboardInterrupt):
-            print()
+            if interactive:
+                print()
             break
         output = session.handle_line(line)
         if output:
             print(output)
+    # Scripted runs (stdin not a tty) signal failure to the caller; the
+    # interactive shell already showed each ERROR line.
+    if not interactive and session.errors:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    raise SystemExit(main())

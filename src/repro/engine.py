@@ -35,6 +35,12 @@ from .optimizer.orca import OrcaOptimizer
 from .optimizer.planner import PlannerOptimizer
 from .optimizer.stats import StatsRegistry
 from .physical.plan import Plan
+from .resilience import (
+    CancelToken,
+    FaultInjector,
+    QueryLimits,
+    RetryPolicy,
+)
 from .sql.ast import InsertStmt
 from .sql.binder import Binder
 from .sql.parser import parse
@@ -59,7 +65,23 @@ class Database:
         self.stats = StatsRegistry()
         self.cost_model = cost_model or CostModel()
         self.binder = Binder(self.catalog)
-        self.executor = MppExecutor(self.catalog, self.storage, num_segments)
+        #: shared fault injector — arm via ``db.faults.arm(...)`` (or the
+        #: CLI's ``SET inject_fault ...``); injected faults exercise the
+        #: retry/failover machinery end to end.
+        self.faults = FaultInjector()
+        self.retry_policy = RetryPolicy()
+        self.executor = MppExecutor(
+            self.catalog,
+            self.storage,
+            num_segments,
+            faults=self.faults,
+            retry_policy=self.retry_policy,
+        )
+
+    @property
+    def health(self):
+        """The instance's :class:`~repro.resilience.SegmentHealth`."""
+        return self.storage.health
 
     # -- DDL / data -----------------------------------------------------------
 
@@ -162,6 +184,9 @@ class Database:
         optimizer: str = ORCA,
         params: Sequence[Any] | None = None,
         analyze: bool = False,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        cancel: CancelToken | None = None,
         **options,
     ) -> ExecutionResult:
         """Parse, plan and execute one statement.
@@ -169,7 +194,19 @@ class Database:
         ``analyze=True`` enables per-node wall-clock timing collection on
         top of the always-on row/partition/motion counters; the result's
         ``metrics`` object and ``explain_analyze()`` expose them.
+
+        The guardrail parameters build the query's
+        :class:`~repro.resilience.QueryLimits`: ``timeout`` (seconds of
+        wall clock before :class:`~repro.errors.QueryTimeout`),
+        ``max_rows`` (budget of buffered rows across blocking operators
+        and motion buffers before
+        :class:`~repro.errors.ResourceLimitExceeded`) and ``cancel`` (a
+        :class:`~repro.resilience.CancelToken` whose :meth:`cancel` makes
+        the next checkpoint raise :class:`~repro.errors.QueryCancelled`).
         """
+        limits = QueryLimits(
+            timeout_seconds=timeout, max_rows=max_rows, cancel=cancel
+        )
         statement = parse(query)
         if isinstance(statement, InsertStmt):
             from .obs import MetricsCollector
@@ -188,7 +225,7 @@ class Database:
                         f"has {len(target.schema)}"
                     )
                 selected = self.executor.execute(
-                    plan, params, analyze=analyze
+                    plan, params, analyze=analyze, limits=limits
                 )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
@@ -208,12 +245,15 @@ class Database:
         logical = self.binder.bind(statement)
         engine = self.make_optimizer(optimizer, **options)
         plan = engine.optimize(logical, len(params) if params else 0)
-        return self.executor.execute(plan, params, analyze=analyze)
+        return self.executor.execute(plan, params, analyze=analyze, limits=limits)
 
     def execute_plan(
         self,
         plan: Plan,
         params: Sequence[Any] | None = None,
         analyze: bool = False,
+        limits: QueryLimits | None = None,
     ) -> ExecutionResult:
-        return self.executor.execute(plan, params, analyze=analyze)
+        return self.executor.execute(
+            plan, params, analyze=analyze, limits=limits
+        )

@@ -4,6 +4,9 @@ Every error raised by the library derives from :class:`ReproError` so that
 callers can catch engine failures without catching unrelated bugs.  The
 sub-hierarchy mirrors the pipeline stages: catalog/DDL, SQL front end,
 binding, optimization, and execution.
+
+Each class carries a ``stage`` tag naming the pipeline stage it belongs
+to; the CLI uses it to render ``ERROR (<stage>): <message>`` lines.
 """
 
 from __future__ import annotations
@@ -12,18 +15,26 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the repro engine."""
 
+    stage = "engine"
+
 
 class CatalogError(ReproError):
     """Errors in DDL or catalog lookups (unknown table, duplicate name...)."""
+
+    stage = "catalog"
 
 
 class PartitionError(CatalogError):
     """Errors in partition definitions or routing (overlapping ranges,
     tuple routed to the invalid partition on insert, unknown OID)."""
 
+    stage = "partition"
+
 
 class SqlError(ReproError):
     """Lexing or parsing failure.  Carries the offending position."""
+
+    stage = "sql"
 
     def __init__(self, message: str, position: int | None = None):
         super().__init__(message)
@@ -33,20 +44,64 @@ class SqlError(ReproError):
 class BindError(ReproError):
     """Name-resolution failure (unknown column, ambiguous reference...)."""
 
+    stage = "bind"
+
 
 class OptimizerError(ReproError):
     """The optimizer could not produce a plan for a valid logical tree."""
+
+    stage = "optimizer"
 
 
 class InvalidPlanError(ReproError):
     """A physical plan violates a structural invariant, e.g. a Motion
     between a PartitionSelector and its DynamicScan (paper Figure 12)."""
 
+    stage = "plan"
+
 
 class ExecutionError(ReproError):
     """Runtime failure while executing a physical plan."""
+
+    stage = "execution"
 
 
 class ChannelError(ExecutionError):
     """Misuse of a partition-OID channel, e.g. a DynamicScan consuming
     before all registered PartitionSelector producers have finished."""
+
+
+class SegmentFailure(ExecutionError):
+    """A segment instance died while running its part of a slice.
+
+    Carries the failed segment, the injection/detection point, and whether
+    the failure is transient (retry in place) or requires failing over the
+    segment to its mirror.  The executor catches this to drive slice
+    retries; it escapes only when recovery is impossible.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        segment: int,
+        point: str | None = None,
+        transient: bool = False,
+    ):
+        super().__init__(message)
+        self.segment = segment
+        self.point = point
+        self.transient = transient
+
+
+class QueryCancelled(ExecutionError):
+    """The query was cancelled cooperatively via ``ExecContext.cancel()``
+    (or its :class:`~repro.resilience.CancelToken`)."""
+
+
+class QueryTimeout(ExecutionError):
+    """The query exceeded its ``timeout_seconds`` guardrail."""
+
+
+class ResourceLimitExceeded(ExecutionError):
+    """A blocking operator exceeded the query's buffered-row budget
+    (``max_rows``), the engine's memory-consumption proxy."""

@@ -8,9 +8,22 @@ id consumes them.  Channels are **segment-local** (keyed by
 through process-local shared memory, which is why no Motion may separate
 them (Section 3.1).
 
-The channel enforces the producer-before-consumer protocol: consuming
-before the producer has closed the channel raises :class:`ChannelError`,
-as does producing after close.
+The channel enforces the full producer/consumer protocol, raising
+:class:`ChannelError` on every misuse:
+
+* ``consume()`` before the producer has closed the channel;
+* ``push()`` after close;
+* ``close()`` twice — two producers racing to close the same channel is a
+  real coordination bug, so the second close raises instead of being
+  silently absorbed;
+* ``consume()`` twice — the OID set is handed over exactly once; guards
+  that only need to *read* the set (Planner's guarded LeafScans share one
+  channel across many scans) use the non-destructive :meth:`peek`.
+
+Slice retry after a segment failure discards the failed slice's channels
+(:meth:`ChannelRegistry.discard`) so the re-run rebuilds them from
+scratch — possible without cross-slice coordination precisely because of
+the Figure 12 co-location invariant.
 """
 
 from __future__ import annotations
@@ -21,17 +34,22 @@ from ..errors import ChannelError
 class OidChannel:
     """One (part_scan_id, segment) channel."""
 
-    __slots__ = ("part_scan_id", "segment", "_oids", "_closed")
+    __slots__ = ("part_scan_id", "segment", "_oids", "_closed", "_consumed")
 
     def __init__(self, part_scan_id: int, segment: int):
         self.part_scan_id = part_scan_id
         self.segment = segment
         self._oids: set[int] = set()
         self._closed = False
+        self._consumed = False
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def consumed(self) -> bool:
+        return self._consumed
 
     def push(self, oid: int) -> None:
         """partition_propagation: add one partition OID."""
@@ -47,23 +65,50 @@ class OidChannel:
             self.push(oid)
 
     def close(self) -> None:
+        """Seal the channel.  Closing twice raises: it means two producers
+        both believe they own the channel's lifecycle."""
+        if self._closed:
+            raise ChannelError(
+                f"double close of channel (scan {self.part_scan_id}, "
+                f"segment {self.segment})"
+            )
         self._closed = True
 
     def consume(self) -> list[int]:
-        """OIDs for the DynamicScan, in deterministic order.
+        """OIDs for the DynamicScan, in deterministic order — exactly once.
 
-        Raises :class:`ChannelError` when the producer has not finished —
-        the execution-order invariant the plan validator guarantees.
+        Raises :class:`ChannelError` when the producer has not finished
+        (the execution-order invariant the plan validator guarantees) and
+        when the channel was already consumed.
         """
         if not self._closed:
             raise ChannelError(
                 f"DynamicScan {self.part_scan_id} on segment {self.segment} "
                 f"consumed before its PartitionSelector finished"
             )
+        if self._consumed:
+            raise ChannelError(
+                f"channel (scan {self.part_scan_id}, segment {self.segment}) "
+                f"consumed twice"
+            )
+        self._consumed = True
+        return sorted(self._oids)
+
+    def peek(self) -> list[int]:
+        """Non-destructive read for guard consumers (several LeafScans may
+        share one guard channel).  Still requires the producer to have
+        closed the channel first."""
+        if not self._closed:
+            raise ChannelError(
+                f"guard on channel (scan {self.part_scan_id}, segment "
+                f"{self.segment}) read before its producer finished"
+            )
         return sorted(self._oids)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
+        if self._consumed:
+            state = "consumed"
         return (
             f"OidChannel(scan={self.part_scan_id}, seg={self.segment}, "
             f"{len(self._oids)} oids, {state})"
@@ -86,3 +131,12 @@ class ChannelRegistry:
 
     def channels(self) -> list[OidChannel]:
         return list(self._channels.values())
+
+    def discard(self, part_scan_ids) -> int:
+        """Drop every segment's channel for the given scan ids (slice
+        retry: the re-run rebuilds them).  Returns channels removed."""
+        ids = set(part_scan_ids)
+        victims = [key for key in self._channels if key[0] in ids]
+        for key in victims:
+            del self._channels[key]
+        return len(victims)

@@ -11,6 +11,9 @@ The MPP simulator's conventions:
 * Partition-OID channels are per (part scan id, segment).
 * The context records which leaf partitions every scan touched — the
   measurement behind the paper's Figure 16 and Table 3.
+* The context carries the run's :class:`~repro.resilience.FaultInjector`
+  and :class:`~repro.resilience.QueryLimits`; iterators consult both on
+  their hot paths (guarded by cheap ``active`` flags).
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from typing import Any, Sequence
 
 from ..catalog import Catalog
 from ..obs.metrics import MetricsCollector, ScanTracker
+from ..resilience.faults import FaultInjector
+from ..resilience.guardrails import QueryLimits
 from ..storage import StorageManager
 from .channels import ChannelRegistry, OidChannel
 
@@ -41,6 +46,8 @@ class ExecContext:
         num_segments: int,
         params: Sequence[Any] | None = None,
         metrics: MetricsCollector | None = None,
+        faults: FaultInjector | None = None,
+        limits: QueryLimits | None = None,
     ):
         self.catalog = catalog
         self.storage = storage
@@ -52,11 +59,22 @@ class ExecContext:
         self.metrics = (
             metrics if metrics is not None else MetricsCollector(num_segments)
         )
+        self.faults = faults if faults is not None else FaultInjector()
+        self.limits = limits if limits is not None else QueryLimits()
 
     @property
     def tracker(self) -> ScanTracker:
         """Deprecated aggregate view; prefer :attr:`metrics`."""
         return self.metrics.tracker
+
+    def cancel(self) -> None:
+        """Cooperatively cancel this execution: the next guardrail
+        checkpoint raises :class:`~repro.errors.QueryCancelled`."""
+        from ..resilience.guardrails import CancelToken
+
+        if self.limits.cancel_token is None:
+            self.limits.cancel_token = CancelToken()
+        self.limits.cancel_token.cancel()
 
     def channel(self, part_scan_id: int, segment: int) -> OidChannel:
         return self.channels.channel(part_scan_id, segment)
@@ -67,3 +85,12 @@ class ExecContext:
             buffer = [[] for _ in range(self.num_segments)]
             self.motion_buffers[motion_id] = buffer
         return buffer
+
+    def reset_slice(self, part_scan_ids, motion_id: int | None = None) -> None:
+        """Discard one slice's local state before a retry: its partition-OID
+        channels (rebuilt locally on the re-run — the Figure 12 invariant
+        keeps producer and consumer in the same slice) and, for a motion
+        slice, the partially-filled send buffer."""
+        self.channels.discard(part_scan_ids)
+        if motion_id is not None:
+            self.motion_buffers.pop(motion_id, None)

@@ -1,4 +1,4 @@
-"""Slice-at-a-time MPP execution.
+"""Slice-at-a-time MPP execution with fault tolerance.
 
 A plan is cut at Motion boundaries.  Motions are executed deepest-first:
 the child subtree runs once per segment and its output is routed into
@@ -14,19 +14,33 @@ DynamicScans are never separated by a Motion (the plan validator enforces
 the paper's Figure 12 rule), every OID channel is filled and closed within
 one (slice, segment) instance before its consumer opens — the shared-memory
 contract of Section 2.2.
+
+**Failure handling** rides on the same invariant: when a segment instance
+dies (a :class:`~repro.errors.SegmentFailure`, real or injected), the
+whole *slice* is retried.  The slice's partition-OID channels and its
+motion send buffer are discarded and rebuilt locally on the re-run — no
+cross-slice coordination is needed, because no channel ever crosses a
+Motion.  Transient failures retry in place with exponential backoff;
+persistent ones first fail the segment over to its mirror
+(:class:`~repro.resilience.SegmentHealth`), after which storage reads for
+that segment are served from the mirror copy and the retry produces
+results identical to a fault-free run.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from ..catalog import Catalog
+from ..errors import SegmentFailure
 from ..expr.eval import compile_expression
 from ..obs.metrics import MetricsCollector, ScanTracker
 from ..obs.render import render_explain_analyze
 from ..physical import ops as phys
 from ..physical.plan import Plan
+from ..resilience.faults import MOTION_SEND, SLICE_START, FaultInjector
+from ..resilience.guardrails import QueryLimits, RetryPolicy
 from ..storage import StorageManager
 from ..storage.distribution import segment_for, stable_hash
 from .context import COORDINATOR_SEGMENT, ExecContext
@@ -90,52 +104,148 @@ class MppExecutor:
         catalog: Catalog,
         storage: StorageManager,
         num_segments: int,
+        faults: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.catalog = catalog
         self.storage = storage
         self.num_segments = num_segments
+        self.faults = faults if faults is not None else FaultInjector()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
 
     def execute(
         self,
         plan: Plan,
         params: Sequence[Any] | None = None,
         analyze: bool = False,
+        limits: QueryLimits | None = None,
     ) -> ExecutionResult:
         """Run the plan; ``analyze=True`` additionally collects per-node
-        wall-clock timings (row and partition counters are always on)."""
+        wall-clock timings (row and partition counters are always on).
+        ``limits`` attaches the per-query guardrails (timeout, buffered-row
+        budget, cancellation)."""
         plan.validate()
         metrics = MetricsCollector(self.num_segments, timing=analyze)
         metrics.register_plan(plan)
+        limits = limits if limits is not None else QueryLimits()
+        limits.start()
         started = time.perf_counter()
         ctx = ExecContext(
-            self.catalog, self.storage, self.num_segments, params, metrics
+            self.catalog,
+            self.storage,
+            self.num_segments,
+            params,
+            metrics,
+            faults=self.faults,
+            limits=limits,
         )
         # Slice k (k >= 1) is the subtree below the k-th Motion in
         # post-order; slice 0 is the root slice.
         for slice_id, motion in enumerate(
             _motions_deepest_first(plan.root), start=1
         ):
+            limits.check()
             slice_started = time.perf_counter()
-            self._run_motion(motion, ctx)
+            slice_scan_ids = _slice_part_scan_ids(motion.children[0])
+            self._run_slice_with_retry(
+                ctx,
+                slice_id,
+                run=lambda motion=motion: self._run_motion(motion, ctx),
+                reset=lambda motion=motion, ids=slice_scan_ids: (
+                    ctx.reset_slice(ids, motion_id=id(motion))
+                ),
+            )
             metrics.record_slice(
                 slice_id,
                 f"below {motion.name}",
                 time.perf_counter() - slice_started,
             )
-        rows: list[tuple] = []
+        limits.check()
         root_started = time.perf_counter()
-        for segment in range(self.num_segments):
-            rows.extend(build_iterator(plan.root, segment, ctx))
+        root_scan_ids = _slice_part_scan_ids(plan.root)
+        rows: list[tuple] = self._run_slice_with_retry(
+            ctx,
+            0,
+            run=lambda: self._run_root(plan.root, ctx),
+            reset=lambda: ctx.reset_slice(root_scan_ids),
+        )
         metrics.record_slice(0, "root", time.perf_counter() - root_started)
+        limits.check()
         elapsed = time.perf_counter() - started
+        metrics.record_fault_points(ctx.faults.snapshot())
+        metrics.record_segment_health(self.storage.health.status())
         metrics.finish(elapsed)
         names = [name for _, name in plan.root.output_layout().slots]
         return ExecutionResult(rows, names, metrics, elapsed)
+
+    # -- slices ---------------------------------------------------------------
+
+    def _run_root(self, root: phys.PhysicalOp, ctx: ExecContext) -> list[tuple]:
+        faults = ctx.faults if ctx.faults.active else None
+        rows: list[tuple] = []
+        for segment in range(self.num_segments):
+            if faults is not None:
+                faults.maybe_fire(SLICE_START, segment)
+            rows.extend(build_iterator(root, segment, ctx))
+        return rows
+
+    def _run_slice_with_retry(
+        self,
+        ctx: ExecContext,
+        slice_id: int,
+        run: Callable[[], Any],
+        reset: Callable[[], Any],
+    ) -> Any:
+        """Run one slice, retrying on :class:`SegmentFailure`.
+
+        A transient failure retries in place after exponential backoff; a
+        persistent one fails the segment over to its mirror first.  The
+        slice's local state (OID channels, motion send buffer) is discarded
+        before each retry, so the re-run rebuilds it from scratch — the
+        Figure 12 co-location invariant makes this purely slice-local.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return run()
+            except SegmentFailure as failure:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise
+                if not self._recover(failure, ctx):
+                    raise
+                ctx.metrics.record_retry(
+                    slice_id, attempt, failure.segment, failure.point
+                )
+                reset()
+                policy.backoff(attempt)
+
+    def _recover(self, failure: SegmentFailure, ctx: ExecContext) -> bool:
+        """Attempt recovery from one segment failure.
+
+        Transient faults need no state change — the retry itself is the
+        recovery.  Persistent faults mark the primary down; recovery
+        succeeds iff the mirror can take over.
+        """
+        if failure.transient:
+            return True
+        health = self.storage.health
+        reason = failure.point or "segment failure"
+        mirror_ok = health.failover(failure.segment, reason)
+        ctx.metrics.record_failover(failure.segment, reason)
+        return mirror_ok
+
+    # -- motions ------------------------------------------------------------
 
     def _run_motion(self, motion: phys.Motion, ctx: ExecContext) -> None:
         buffer = ctx.motion_buffer(id(motion))
         child = motion.children[0]
         record = ctx.metrics.record_motion
+        faults = ctx.faults if ctx.faults.active else None
+        charge = ctx.limits.charge_rows if ctx.limits.active else None
         if isinstance(motion, phys.RedistributeMotion):
             layout = child.output_layout()
             hash_fns = [
@@ -143,14 +253,22 @@ class MppExecutor:
                 for expr in motion.hash_exprs
             ]
         for segment in range(self.num_segments):
+            if faults is not None:
+                faults.maybe_fire(SLICE_START, segment)
             for row in build_iterator(child, segment, ctx):
+                if faults is not None:
+                    faults.maybe_fire(MOTION_SEND, segment)
                 if isinstance(motion, phys.GatherMotion):
                     buffer[COORDINATOR_SEGMENT].append(row)
                     record(motion, "gather", COORDINATOR_SEGMENT, row)
+                    if charge is not None:
+                        charge(1)
                 elif isinstance(motion, phys.BroadcastMotion):
                     for target in range(self.num_segments):
                         buffer[target].append(row)
                         record(motion, "broadcast", target, row)
+                    if charge is not None:
+                        charge(self.num_segments)
                 else:
                     values = tuple(fn(row) for fn in hash_fns)
                     if len(values) == 1:
@@ -162,6 +280,8 @@ class MppExecutor:
                         )
                     buffer[target].append(row)
                     record(motion, "redistribute", target, row)
+                    if charge is not None:
+                        charge(1)
 
 
 def _motions_deepest_first(root: phys.PhysicalOp) -> list[phys.Motion]:
@@ -176,3 +296,38 @@ def _motions_deepest_first(root: phys.PhysicalOp) -> list[phys.Motion]:
 
     visit(root)
     return found
+
+
+def _slice_part_scan_ids(root: phys.PhysicalOp) -> set[int]:
+    """Partition-OID channel ids owned by one slice.
+
+    Walks the subtree without descending through Motions (their subtrees
+    are other slices, already complete).  Because no Motion separates a
+    PartitionSelector from its DynamicScan, these ids are exactly the
+    channels a slice retry must discard and rebuild.
+    """
+    from .lowering import PropagatingProject
+
+    ids: set[int] = set()
+
+    def visit(op: phys.PhysicalOp) -> None:
+        if isinstance(op, phys.PartitionSelector):
+            ids.add(op.spec.part_scan_id)
+        elif isinstance(op, phys.DynamicScan):
+            ids.add(op.part_scan_id)
+        elif isinstance(op, PropagatingProject):
+            ids.add(op.produces_part_scan_id)
+        elif (
+            isinstance(op, phys.LeafScan) and op.guard_scan_id is not None
+        ):
+            ids.add(op.guard_scan_id)
+        for child in op.children:
+            if not isinstance(child, phys.Motion):
+                visit(child)
+
+    if not isinstance(root, phys.Motion):
+        visit(root)
+    else:
+        # A Motion as slice root reads its buffer only; no channels.
+        pass
+    return ids

@@ -25,16 +25,16 @@ from ..catalog import TableDescriptor
 from ..catalog.constraints import IntervalSet
 from ..errors import ExecutionError
 from ..expr.analysis import (
-    conj,
     conjuncts,
     derive_interval_set,
     interval_for_comparison,
     join_comparison_on_key,
 )
-from ..expr.ast import AggCall, ColumnRef
+from ..expr.ast import ColumnRef
 from ..expr.eval import RowLayout, compile_expression, compile_predicate
 from ..physical import ops as phys
 from ..physical.properties import PartSelectorSpec
+from ..resilience.faults import CHANNEL_CLOSE, SCAN_ROW
 from .context import COORDINATOR_SEGMENT, ExecContext
 from .runtime_funcs import partition_expansion, partition_propagation
 
@@ -53,9 +53,21 @@ def build_iterator(
 
     Every node's iterator is wrapped by the metrics collector: rows out
     and loops are always counted; per-node wall time is accumulated when
-    the query runs with ``analyze=True``.
+    the query runs with ``analyze=True``.  When guardrails are configured
+    the root of each subtree additionally passes every row through the
+    cooperative checkpoint (cancellation, timeout).
     """
-    return ctx.metrics.instrument(op, segment, _raw_iterator(op, segment, ctx))
+    inner = ctx.metrics.instrument(op, segment, _raw_iterator(op, segment, ctx))
+    if ctx.limits.active:
+        return _guarded_iter(ctx.limits, inner)
+    return inner
+
+
+def _guarded_iter(limits, inner: RowIter) -> RowIter:
+    tick = limits.tick
+    for row in inner:
+        tick()
+        yield row
 
 
 def _raw_iterator(
@@ -107,8 +119,11 @@ def _raw_iterator(
 
 
 def _scan_iter(op: phys.Scan, segment: int, ctx: ExecContext) -> RowIter:
+    faults = ctx.faults if ctx.faults.active else None
     count = 0
     for row in ctx.storage.scan_table(segment, op.table.oid):
+        if faults is not None:
+            faults.maybe_fire(SCAN_ROW, segment)
         count += 1
         yield row
     ctx.metrics.record_scan_rows(op, op.table, segment, count)
@@ -116,12 +131,16 @@ def _scan_iter(op: phys.Scan, segment: int, ctx: ExecContext) -> RowIter:
 
 def _leaf_scan_iter(op: phys.LeafScan, segment: int, ctx: ExecContext) -> RowIter:
     if op.guard_scan_id is not None:
-        selected = ctx.channel(op.guard_scan_id, segment).consume()
+        # Several LeafScans share one guard channel — read, don't consume.
+        selected = ctx.channel(op.guard_scan_id, segment).peek()
         if op.leaf_oid not in selected:
             return
     ctx.metrics.record_leaf(op, op.table, op.leaf_oid, segment)
+    faults = ctx.faults if ctx.faults.active else None
     count = 0
     for row in ctx.storage.scan_table(segment, op.table.oid, [op.leaf_oid]):
+        if faults is not None:
+            faults.maybe_fire(SCAN_ROW, segment)
         count += 1
         yield row
     ctx.metrics.record_scan_rows(op, op.table, segment, count)
@@ -132,10 +151,13 @@ def _dynamic_scan_iter(
 ) -> RowIter:
     ctx.metrics.node(op).part_scan_id = op.part_scan_id
     oids = ctx.channel(op.part_scan_id, segment).consume()
+    faults = ctx.faults if ctx.faults.active else None
     count = 0
     for oid in oids:
         ctx.metrics.record_leaf(op, op.table, oid, segment)
         for row in ctx.storage.scan_table(segment, op.table.oid, [oid]):
+            if faults is not None:
+                faults.maybe_fire(SCAN_ROW, segment)
             count += 1
             yield row
     ctx.metrics.record_scan_rows(op, op.table, segment, count)
@@ -171,16 +193,18 @@ class _SelectorProgram:
         self.table: TableDescriptor = spec.table
         self.constant_sets: list[IntervalSet | None] = []
         self.streaming: list[list[tuple[str, Callable[[tuple], Any]]]] = []
+        schema = self.table.schema
         for key, predicate in zip(spec.part_keys, spec.part_predicates):
             if predicate is None:
                 self.constant_sets.append(None)
                 self.streaming.append([])
                 continue
+            key_type = schema.column(key.name).data_type
             constant_parts = []
             streaming_parts: list[tuple[str, Callable[[tuple], Any]]] = []
             for conjunct in conjuncts(predicate):
                 derived = derive_interval_set(
-                    conjunct, key, params=params
+                    conjunct, key, params=params, key_type=key_type
                 )
                 if derived is not None:
                     constant_parts.append(derived)
@@ -311,6 +335,8 @@ def _partition_selector_iter(
             oids = partition_expansion(ctx.catalog, spec.table.oid)
         for oid in oids:
             partition_propagation(ctx, spec.part_scan_id, segment, oid)
+        if ctx.faults.active:
+            ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
         channel.close()
         if child is not None:
             yield from build_iterator(child, segment, ctx)
@@ -326,6 +352,8 @@ def _partition_selector_iter(
         for oid in program.oids_for_row(row):
             partition_propagation(ctx, spec.part_scan_id, segment, oid)
         yield row
+    if ctx.faults.active:
+        ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
     channel.close()
 
 
@@ -373,12 +401,15 @@ def _hash_join_iter(op: phys.HashJoin, segment: int, ctx: ExecContext) -> RowIte
             op.residual, build_layout.concat(probe_layout), ctx.params
         )
 
+    charge = ctx.limits.charge_rows if ctx.limits.active else None
     table: dict[tuple, list[tuple]] = {}
     for row in build_iterator(op.build, segment, ctx):
         key = tuple(fn(row) for fn in build_fns)
         if any(v is None for v in key):
             continue  # NULL keys never join
         table.setdefault(key, []).append(row)
+        if charge is not None:
+            charge(1)  # build side is materialized: memory proxy
 
     semi = op.kind == "semi"
     for probe_row in build_iterator(op.probe, segment, ctx):
@@ -406,6 +437,8 @@ def _hash_join_iter(op: phys.HashJoin, segment: int, ctx: ExecContext) -> RowIte
 def _nl_join_iter(op: phys.NLJoin, segment: int, ctx: ExecContext) -> RowIter:
     outer_rows = list(build_iterator(op.outer, segment, ctx))
     inner_rows = list(build_iterator(op.inner, segment, ctx))
+    if ctx.limits.active:
+        ctx.limits.charge_rows(len(outer_rows) + len(inner_rows))
     combined_layout = op.outer.output_layout().concat(op.inner.output_layout())
     predicate = (
         compile_predicate(op.predicate, combined_layout, ctx.params)
@@ -502,6 +535,7 @@ def _hash_agg_iter(op: phys.HashAgg, segment: int, ctx: ExecContext) -> RowIter:
     key_fns = [
         compile_expression(key, layout, ctx.params) for key in op.group_keys
     ]
+    charge = ctx.limits.charge_rows if ctx.limits.active else None
     if op.mode == "final":
         # Input rows are (keys..., transition states...): combine them.
         key_count = len(op.group_keys)
@@ -514,6 +548,8 @@ def _hash_agg_iter(op: phys.HashAgg, segment: int, ctx: ExecContext) -> RowIter:
                     _Accumulator(agg.func) for agg, _ in op.aggregates
                 ]
                 groups[key] = accumulators
+                if charge is not None:
+                    charge(1)  # one buffered group ≈ one row of state
             for accumulator, state in zip(accumulators, row[key_count:]):
                 accumulator.combine(state)
         if not groups and not op.group_keys:
@@ -545,6 +581,8 @@ def _hash_agg_iter(op: phys.HashAgg, segment: int, ctx: ExecContext) -> RowIter:
                 _Accumulator(agg.func) for agg, _ in op.aggregates
             ]
             groups[key] = accumulators
+            if charge is not None:
+                charge(1)  # one buffered group ≈ one row of state
         for accumulator, arg_fn in zip(accumulators, agg_arg_fns):
             accumulator.add(arg_fn(row))
 
@@ -608,6 +646,8 @@ def _sort_iter(op: phys.Sort, segment: int, ctx: ExecContext) -> RowIter:
     ascending = [asc for _, asc in op.keys]
     wrapper = _sort_key(ascending)
     rows = list(build_iterator(op.children[0], segment, ctx))
+    if ctx.limits.active:
+        ctx.limits.charge_rows(len(rows))
     rows.sort(key=lambda row: wrapper([fn(row) for fn in key_fns]))
     yield from rows
 

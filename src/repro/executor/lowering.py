@@ -31,8 +31,6 @@ the test suite verifies, demonstrating the paper's point that "static" and
 
 from __future__ import annotations
 
-from typing import Any
-
 from ..catalog import TableDescriptor
 from ..catalog.constraints import IntervalSet
 from ..expr.analysis import (
@@ -51,6 +49,7 @@ from ..expr.ast import (
 from ..expr.eval import RowLayout, compile_expression
 from ..physical.ops import PartitionSelector, PhysicalOp, Sequence
 from ..physical.plan import Plan
+from ..resilience.faults import CHANNEL_CLOSE
 from .context import ExecContext
 from .iterators import EXTRA_ITERATORS, build_iterator
 from .runtime_funcs import (
@@ -174,6 +173,8 @@ def _propagating_project_iter(op: PropagatingProject, segment: int, ctx: ExecCon
         for row in build_iterator(child, segment, ctx):
             partition_propagation(ctx, scan_id, segment, row[oid_index])
             yield row
+        if ctx.faults.active:
+            ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
         channel.close()
         return
     key_fn = compile_expression(
@@ -185,6 +186,8 @@ def _propagating_project_iter(op: PropagatingProject, segment: int, ctx: ExecCon
         if oid is not None:
             partition_propagation(ctx, scan_id, segment, oid)
         yield row
+    if ctx.faults.active:
+        ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
     channel.close()
 
 
@@ -226,7 +229,12 @@ def _lower_selector(op: PartitionSelector) -> PhysicalOp | None:
         interval_set = (
             IntervalSet.ALL
             if predicate is None
-            else derive_interval_set(predicate, key, best_effort=True)
+            else derive_interval_set(
+                predicate,
+                key,
+                best_effort=True,
+                key_type=spec.table.schema.column(key.name).data_type,
+            )
         )
         if interval_set is None:
             return None

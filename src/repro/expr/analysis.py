@@ -15,6 +15,8 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from ..catalog.constraints import Interval, IntervalSet
+from ..errors import ReproError
+from ..types import DataType
 from .ast import (
     Between,
     BoolExpr,
@@ -148,6 +150,7 @@ def derive_interval_set(
     key: ColumnRef,
     params: Sequence[Any] | None = None,
     best_effort: bool = False,
+    key_type: DataType | None = None,
 ) -> IntervalSet | None:
     """Translate a constant-form predicate on ``key`` into the set of key
     values it admits.
@@ -156,7 +159,33 @@ def derive_interval_set(
     then fall back to selecting all partitions).  With ``best_effort=True``
     parameter markers are treated as derivable placeholders so the *shape*
     can be validated at plan time before parameter values exist.
+
+    ``key_type`` — when given — coerces constant comparands to the key's
+    declared type before interval arithmetic, so ``date_col IN
+    ('2013-05-15', ...)`` compares dates to dates rather than strings to
+    dates.  An uncoercible comparison bound degrades to "no restriction";
+    an uncoercible IN value is dropped (it can never equal a well-typed
+    key, so dropping it is sound).
     """
+    try:
+        return _derive_interval_set(
+            predicate, key, params, best_effort, key_type
+        )
+    except TypeError:
+        # Incomparable comparand types (e.g. a mixed IN list analysed
+        # without type context) cannot be ordered into intervals; degrade
+        # to "unsupported" rather than crash — callers then keep all
+        # partitions, which is always sound.
+        return None
+
+
+def _derive_interval_set(
+    predicate: Expression,
+    key: ColumnRef,
+    params: Sequence[Any] | None,
+    best_effort: bool,
+    key_type: DataType | None,
+) -> IntervalSet | None:
 
     def fold(expr: Expression) -> Any:
         """Evaluate a column-free subexpression to a constant."""
@@ -166,6 +195,14 @@ def derive_interval_set(
             return _SHAPE_ONLY
         return evaluate(expr, params=params)
 
+    def coerce(value: Any) -> Any:
+        if key_type is None or value is None or value is _SHAPE_ONLY:
+            return value
+        try:
+            return key_type.validate(value)
+        except ReproError:
+            return _UNCOERCIBLE
+
     if isinstance(predicate, Comparison):
         normalized = _comparison_on_key(predicate, key)
         if normalized is None or not is_constant(normalized.right):
@@ -173,6 +210,9 @@ def derive_interval_set(
         value = fold(normalized.right)
         if value is _SHAPE_ONLY:
             return IntervalSet.ALL
+        value = coerce(value)
+        if value is _UNCOERCIBLE:
+            return None
         return interval_for_comparison(normalized.op, value)
 
     if isinstance(predicate, Between):
@@ -186,6 +226,9 @@ def derive_interval_set(
         lo, hi = fold(predicate.lo), fold(predicate.hi)
         if lo is _SHAPE_ONLY or hi is _SHAPE_ONLY:
             return IntervalSet.ALL
+        lo, hi = coerce(lo), coerce(hi)
+        if lo is _UNCOERCIBLE or hi is _UNCOERCIBLE:
+            return None
         if lo is None or hi is None or hi < lo:
             return IntervalSet.EMPTY
         return IntervalSet.of(Interval(lo, hi, True, True))
@@ -196,9 +239,15 @@ def derive_interval_set(
             and predicate.subject.matches(key)
         ):
             return None
-        return IntervalSet.points(
-            v for v in predicate.values if v is not None
-        )
+        points = []
+        for v in predicate.values:
+            if v is None:
+                continue
+            v = coerce(v)
+            if v is _UNCOERCIBLE:
+                continue
+            points.append(v)
+        return IntervalSet.points(points)
 
     if isinstance(predicate, IsNull):
         if not (
@@ -213,7 +262,9 @@ def derive_interval_set(
     if isinstance(predicate, BoolExpr):
         child_sets = []
         for arg in predicate.args:
-            child = derive_interval_set(arg, key, params, best_effort)
+            child = derive_interval_set(
+                arg, key, params, best_effort, key_type
+            )
             if child is None:
                 return None
             child_sets.append(child)
@@ -249,6 +300,16 @@ class _ShapeOnly:
 
 
 _SHAPE_ONLY = _ShapeOnly()
+
+
+class _Uncoercible:
+    """Sentinel: a comparand the key's type cannot represent."""
+
+    def __repr__(self) -> str:
+        return "<uncoercible>"
+
+
+_UNCOERCIBLE = _Uncoercible()
 
 
 def join_comparison_on_key(

@@ -25,7 +25,10 @@ import time
 from typing import Any, Iterator
 
 #: bump when the shape of :meth:`MetricsCollector.to_dict` changes
-METRICS_SCHEMA_VERSION = 1
+#: v2: added the top-level "resilience" section (retries, failovers,
+#: fault-injection hit counters, segment health); every v1 field is
+#: unchanged.
+METRICS_SCHEMA_VERSION = 2
 
 
 class ScanTracker:
@@ -203,6 +206,15 @@ class MetricsCollector:
         self._table_totals: dict[str, int] = {}
         self._by_op: dict[int, NodeMetrics] = {}
         self._plan = None  # pinned so id(op) keys stay unique
+        # resilience (schema v2)
+        #: one entry per slice retry: {"slice_id", "attempt", "segment", "point"}
+        self.retries: list[dict] = []
+        #: one entry per primary->mirror failover: {"segment", "reason"}
+        self.failovers: list[dict] = []
+        #: injection point -> {"hits", "fired"} snapshot at query end
+        self.fault_points: dict[str, dict] = {}
+        #: SegmentHealth.status() snapshot at query end
+        self.segment_health: dict | None = None
 
     # -- plan registration --------------------------------------------------
 
@@ -342,6 +354,63 @@ class MetricsCollector:
     def finish(self, elapsed_seconds: float) -> None:
         self.elapsed_seconds = elapsed_seconds
 
+    # -- resilience (schema v2) ----------------------------------------------
+
+    def record_retry(
+        self,
+        slice_id: int,
+        attempt: int,
+        segment: int | None,
+        point: str | None,
+    ) -> None:
+        """One slice re-run after a :class:`SegmentFailure`.
+
+        Note that node row counters are cumulative across attempts, so
+        ``rows_out``/``loops`` over-count when retries occurred; the retry
+        log here is what lets a reader normalise.
+        """
+        self.retries.append(
+            {
+                "slice_id": slice_id,
+                "attempt": attempt,
+                "segment": segment,
+                "point": point,
+            }
+        )
+
+    def record_failover(self, segment: int, reason: str) -> None:
+        """One primary marked down with its mirror taking over."""
+        self.failovers.append({"segment": segment, "reason": reason})
+
+    def record_fault_points(self, snapshot: dict[str, dict]) -> None:
+        """Final per-injection-point hit/fired counters for the query."""
+        self.fault_points = dict(snapshot)
+
+    def record_segment_health(self, status: dict) -> None:
+        """Final :meth:`SegmentHealth.status` snapshot for the query."""
+        self.segment_health = status
+
+    @property
+    def retry_count(self) -> int:
+        return len(self.retries)
+
+    @property
+    def failover_count(self) -> int:
+        return len(self.failovers)
+
+    def resilience_stats(self) -> dict:
+        return {
+            "retries": list(self.retries),
+            "retry_count": self.retry_count,
+            "failovers": list(self.failovers),
+            "failover_count": self.failover_count,
+            "fault_points": {
+                point: dict(counters)
+                for point, counters in sorted(self.fault_points.items())
+            },
+            "segment_health": self.segment_health,
+        }
+
     # -- aggregate views -----------------------------------------------------
 
     @property
@@ -417,6 +486,7 @@ class MetricsCollector:
                 "motion_rows": motion["rows_moved"],
                 "motion_bytes": motion["bytes_moved"],
             },
+            "resilience": self.resilience_stats(),
         }
 
     def to_json(self, indent: int | None = None) -> str:

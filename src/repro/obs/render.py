@@ -38,6 +38,24 @@ def render_explain_analyze(metrics: MetricsCollector) -> str:
             f"Slice {entry['id']} ({entry['label']}): "
             f"{entry['seconds'] * 1000:.2f} ms"
         )
+    if metrics.retry_count or metrics.failover_count:
+        mirrored = sorted(
+            {entry["segment"] for entry in metrics.failovers}
+        )
+        line = (
+            f"Resilience: {metrics.retry_count} slice "
+            f"retr{'y' if metrics.retry_count == 1 else 'ies'}, "
+            f"{metrics.failover_count} failover"
+            f"{'' if metrics.failover_count == 1 else 's'}"
+        )
+        if mirrored:
+            line += (
+                " (mirror serving segment"
+                f"{'' if len(mirrored) == 1 else 's'} "
+                + ", ".join(str(s) for s in mirrored)
+                + ")"
+            )
+        lines.append(line)
     if metrics.elapsed_seconds:
         lines.append(f"Total: {metrics.elapsed_seconds * 1000:.2f} ms")
     return "\n".join(lines)

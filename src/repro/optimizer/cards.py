@@ -22,7 +22,6 @@ from ..expr.ast import (
     IsNull,
     Literal,
     Parameter,
-    column_refs,
 )
 from .stats import ColumnStats, TableStats
 

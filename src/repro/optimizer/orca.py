@@ -294,7 +294,12 @@ class OrcaOptimizer:
         for key, predicate in zip(spec.part_keys, spec.part_predicates):
             if predicate is None:
                 continue
-            derived = derive_interval_set(predicate, key, best_effort=True)
+            derived = derive_interval_set(
+                predicate,
+                key,
+                best_effort=True,
+                key_type=spec.table.schema.column(key.name).data_type,
+            )
             if derived is not None:
                 predicates[key.name] = derived
         selected = len(scheme.select(predicates))

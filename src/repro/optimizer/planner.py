@@ -167,7 +167,10 @@ class PlannerOptimizer:
             # Parameters are unknown at plan time: best_effort treats them
             # as unrestricted, so the planner keeps all leaves.
             interval_set = derive_interval_set(
-                level_pred, key, best_effort=True
+                level_pred,
+                key,
+                best_effort=True,
+                key_type=table.schema.column(key.name).data_type,
             )
             if interval_set is not None:
                 derived[key.name] = interval_set

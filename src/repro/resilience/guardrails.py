@@ -1,0 +1,174 @@
+"""Per-query guardrails: timeout, buffered-row budget, cancellation, retry.
+
+:class:`QueryLimits` is the cooperative enforcement object one execution
+carries on its :class:`~repro.executor.context.ExecContext`.  Iterators
+call :meth:`QueryLimits.tick` once per row (cheap: one attribute check,
+with the wall-clock read amortized over ``check_interval`` rows) and
+blocking operators charge their materialized rows through
+:meth:`QueryLimits.charge_rows` — the engine's memory-consumption proxy.
+Each violation raises its own typed error so callers can distinguish a
+cancelled query from a timed-out or over-budget one.
+
+:class:`RetryPolicy` bounds how the executor retries a failed slice:
+``max_retries`` attempts with exponential backoff starting at
+``base_delay_seconds``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import QueryCancelled, QueryTimeout, ResourceLimitExceeded
+
+
+class CancelToken:
+    """Cooperative cancellation handle shared with the caller.
+
+    ``cancel_after_checks`` is a deterministic test/simulation hook: the
+    token cancels itself once the query has passed that many guardrail
+    checkpoints, emulating a user hitting Ctrl-C mid-flight without
+    needing threads.
+    """
+
+    __slots__ = ("_cancelled", "_checks", "cancel_after_checks")
+
+    def __init__(self, cancel_after_checks: int | None = None):
+        self._cancelled = False
+        self._checks = 0
+        self.cancel_after_checks = cancel_after_checks
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    def _note_check(self) -> None:
+        if self.cancel_after_checks is None or self._cancelled:
+            return
+        self._checks += 1
+        if self._checks >= self.cancel_after_checks:
+            self._cancelled = True
+
+
+class QueryLimits:
+    """Guardrail state for one query execution."""
+
+    def __init__(
+        self,
+        timeout_seconds: float | None = None,
+        max_rows: int | None = None,
+        cancel: CancelToken | None = None,
+        check_interval: int = 128,
+    ):
+        if timeout_seconds is not None and timeout_seconds < 0:
+            raise ValueError("timeout_seconds must be >= 0")
+        if max_rows is not None and max_rows < 0:
+            raise ValueError("max_rows must be >= 0")
+        self.timeout_seconds = timeout_seconds
+        self.max_rows = max_rows
+        self.cancel_token = cancel
+        self.check_interval = max(1, check_interval)
+        self._deadline: float | None = None
+        self._ticks = 0
+        self._buffered_rows = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any guardrail is configured (hot-path gate)."""
+        return (
+            self.timeout_seconds is not None
+            or self.max_rows is not None
+            or self.cancel_token is not None
+        )
+
+    @property
+    def buffered_rows(self) -> int:
+        return self._buffered_rows
+
+    def start(self) -> None:
+        """Arm the deadline at query start."""
+        if self.timeout_seconds is not None:
+            self._deadline = time.monotonic() + self.timeout_seconds
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def check(self) -> None:
+        """Full checkpoint: cancellation and deadline, unconditionally.
+
+        Called at slice boundaries, where the cost of a clock read is
+        negligible."""
+        token = self.cancel_token
+        if token is not None:
+            token._note_check()
+            if token.cancelled:
+                raise QueryCancelled("query cancelled")
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise QueryTimeout(
+                f"query exceeded timeout of {self.timeout_seconds}s"
+            )
+
+    def tick(self) -> None:
+        """Per-row checkpoint: cancellation every row, deadline every
+        ``check_interval`` rows."""
+        token = self.cancel_token
+        if token is not None:
+            token._note_check()
+            if token.cancelled:
+                raise QueryCancelled("query cancelled")
+        if self._deadline is None:
+            return
+        self._ticks += 1
+        if self._ticks % self.check_interval == 0:
+            if time.monotonic() > self._deadline:
+                raise QueryTimeout(
+                    f"query exceeded timeout of {self.timeout_seconds}s"
+                )
+
+    def charge_rows(self, count: int) -> None:
+        """Account ``count`` rows buffered by a blocking operator (sort
+        input, hash-join build side, motion receive buffers, ...)."""
+        if self.max_rows is None:
+            return
+        self._buffered_rows += count
+        if self._buffered_rows > self.max_rows:
+            raise ResourceLimitExceeded(
+                f"query buffered {self._buffered_rows} rows in blocking "
+                f"operators, exceeding max_rows={self.max_rows}"
+            )
+
+
+#: limits object used when the caller sets no guardrail — all no-ops
+NO_LIMITS = QueryLimits()
+
+
+class RetryPolicy:
+    """Bounds on the executor's slice-retry loop."""
+
+    __slots__ = ("max_retries", "base_delay_seconds", "max_delay_seconds")
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        base_delay_seconds: float = 0.001,
+        max_delay_seconds: float = 0.1,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        self.base_delay_seconds = base_delay_seconds
+        self.max_delay_seconds = max_delay_seconds
+
+    def delay_for(self, attempt: int) -> float:
+        """Exponential backoff: attempt 1 waits the base delay, each
+        further attempt doubles it, capped at ``max_delay_seconds``."""
+        if self.base_delay_seconds <= 0:
+            return 0.0
+        delay = self.base_delay_seconds * (2 ** (attempt - 1))
+        return min(delay, self.max_delay_seconds)
+
+    def backoff(self, attempt: int) -> None:
+        delay = self.delay_for(attempt)
+        if delay > 0:
+            time.sleep(delay)

@@ -1,0 +1,127 @@
+"""Segment health tracking: the fault-tolerance service of the simulator.
+
+Greenplum pairs every primary segment with a mirror and a fault-tolerance
+service (FTS) that marks crashed primaries down and promotes their
+mirrors.  :class:`SegmentHealth` is the minimal equivalent: one up/down
+bit per primary and per mirror, plus counters for the failover events and
+mirror reads the observability layer exports.
+
+The storage layer consults health on every segment read: a down primary
+is served from its mirror copy; a double fault (mirror also down) raises
+an unrecoverable :class:`~repro.errors.SegmentFailure`.
+"""
+
+from __future__ import annotations
+
+from ..errors import SegmentFailure
+
+UP = "up"
+DOWN = "down"
+
+
+class SegmentHealth:
+    """Up/down state of every primary segment and its mirror."""
+
+    def __init__(self, num_segments: int):
+        if num_segments <= 0:
+            raise ValueError("num_segments must be positive")
+        self.num_segments = num_segments
+        self._primary_up = [True] * num_segments
+        self._mirror_up = [True] * num_segments
+        #: chronological failover log: {"segment", "reason"}
+        self.failover_events: list[dict] = []
+        #: reads served from a mirror while its primary was down, per segment
+        self.mirror_reads = [0] * num_segments
+
+    # -- queries ------------------------------------------------------------
+
+    def is_up(self, segment: int) -> bool:
+        return self._primary_up[segment]
+
+    def mirror_is_up(self, segment: int) -> bool:
+        return self._mirror_up[segment]
+
+    @property
+    def down_segments(self) -> list[int]:
+        return [s for s in range(self.num_segments) if not self._primary_up[s]]
+
+    @property
+    def failover_count(self) -> int:
+        return len(self.failover_events)
+
+    # -- transitions --------------------------------------------------------
+
+    def failover(self, segment: int, reason: str = "") -> bool:
+        """Mark ``segment``'s primary down, promoting its mirror.
+
+        Returns ``True`` when the mirror can take over (reads keep
+        working), ``False`` on a double fault.  Repeated failovers of an
+        already-down segment are recorded once.
+        """
+        self._check_segment(segment)
+        if self._primary_up[segment]:
+            self._primary_up[segment] = False
+            self.failover_events.append(
+                {"segment": segment, "reason": reason}
+            )
+        return self._mirror_up[segment]
+
+    def mark_mirror_down(self, segment: int) -> None:
+        self._check_segment(segment)
+        self._mirror_up[segment] = False
+
+    def recover(self, segment: int) -> None:
+        """Bring a segment's primary (and mirror) back up — instant resync,
+        since mirrors are synchronously replicated in this simulator."""
+        self._check_segment(segment)
+        self._primary_up[segment] = True
+        self._mirror_up[segment] = True
+
+    def recover_all(self) -> None:
+        for segment in range(self.num_segments):
+            self.recover(segment)
+
+    # -- the storage read path ---------------------------------------------
+
+    def record_mirror_read(self, segment: int) -> None:
+        self.mirror_reads[segment] += 1
+
+    def require_readable(self, segment: int) -> bool:
+        """Whether reads for ``segment`` must be served from the mirror.
+
+        Raises :class:`SegmentFailure` when neither copy is available —
+        the unrecoverable double-fault case.
+        """
+        self._check_segment(segment)
+        if self._primary_up[segment]:
+            return False
+        if self._mirror_up[segment]:
+            return True
+        raise SegmentFailure(
+            f"segment {segment}: primary and mirror are both down",
+            segment=segment,
+            point="storage_read",
+            transient=False,
+        )
+
+    # -- export -------------------------------------------------------------
+
+    def status(self) -> dict:
+        return {
+            "primaries": [
+                UP if up else DOWN for up in self._primary_up
+            ],
+            "mirrors": [UP if up else DOWN for up in self._mirror_up],
+            "down_segments": self.down_segments,
+            "failover_count": self.failover_count,
+            "mirror_reads": list(self.mirror_reads),
+        }
+
+    def _check_segment(self, segment: int) -> None:
+        if not 0 <= segment < self.num_segments:
+            raise ValueError(f"segment {segment} out of range")
+
+    def __repr__(self) -> str:
+        down = self.down_segments
+        state = f"{len(down)} down {down}" if down else "all up"
+        return f"SegmentHealth({self.num_segments} segments, {state})"

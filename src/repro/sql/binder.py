@@ -56,7 +56,6 @@ from .ast import (
     DeleteStmt,
     InsertStmt,
     InSubquery,
-    SelectItem,
     SelectStmt,
     TableRef,
     UpdateStmt,

@@ -308,6 +308,19 @@ class _Parser:
             return -number.value
         raise self.error("expected literal value")
 
+    def _parse_in_value(self) -> Any:
+        """A literal inside an IN list.
+
+        Unlike INSERT VALUES (where the column's declared type decides, and
+        a TEXT column must keep ``'2013-05-15'`` as a string), IN lists are
+        comparands — date-shaped strings get the same coercion that
+        comparison and BETWEEN literals receive in ``_parse_factor``.
+        """
+        value = self._parse_literal_value()
+        if isinstance(value, str):
+            return _maybe_date(value)
+        return value
+
     # -- expressions -----------------------------------------------------------
 
     def parse_expr(self) -> Expression:
@@ -364,9 +377,9 @@ class _Parser:
                 if negated:
                     raise self.error("NOT IN (subquery) is not supported")
                 return InSubquery(left, subquery)
-            values = [self._parse_literal_value()]
+            values = [self._parse_in_value()]
             while self.accept_punct(","):
-                values.append(self._parse_literal_value())
+                values.append(self._parse_in_value())
             self.expect_punct(")")
             in_list: Expression = InList(left, values)
             if negated:

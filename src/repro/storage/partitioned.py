@@ -12,15 +12,27 @@ from typing import Iterator, Sequence
 
 from ..catalog import Catalog, TableDescriptor
 from ..errors import CatalogError
+from ..resilience.health import SegmentHealth
 from .table import TableStore
 
 
 class StorageManager:
-    """All table stores for one database instance."""
+    """All table stores for one database instance.
 
-    def __init__(self, catalog: Catalog, num_segments: int):
+    The manager also owns the instance's :class:`SegmentHealth`: every
+    registered table's reads consult it, so a single failover flips all
+    tables of the down segment to their mirror copies at once.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        num_segments: int,
+        health: SegmentHealth | None = None,
+    ):
         self.catalog = catalog
         self.num_segments = num_segments
+        self.health = health if health is not None else SegmentHealth(num_segments)
         self._stores: dict[int, TableStore] = {}
 
     def register(self, descriptor: TableDescriptor) -> TableStore:
@@ -28,7 +40,7 @@ class StorageManager:
             raise CatalogError(
                 f"storage for table {descriptor.name!r} already exists"
             )
-        store = TableStore(descriptor, self.num_segments)
+        store = TableStore(descriptor, self.num_segments, health=self.health)
         self._stores[descriptor.oid] = store
         return store
 

@@ -10,6 +10,13 @@ addressed two ways, mirroring the engine's needs:
 
 For an unpartitioned table all rows live under the root OID.  Replicated
 tables store a full copy of every row on every segment.
+
+Every primary segment's buckets are synchronously replicated to a
+**mirror** copy.  When a :class:`~repro.resilience.SegmentHealth` object
+is attached (the :class:`~repro.storage.partitioned.StorageManager` does
+this on registration) and marks a primary down, reads for that segment
+are served from the mirror; a double fault raises
+:class:`~repro.errors.SegmentFailure`.
 """
 
 from __future__ import annotations
@@ -18,19 +25,31 @@ from typing import Iterable, Iterator, Sequence
 
 from ..catalog import DistributionPolicy, TableDescriptor
 from ..errors import PartitionError
+from ..resilience.health import SegmentHealth
 from .distribution import segment_for
 
 
 class TableStore:
-    """Rows of one table, bucketed by (segment, leaf OID)."""
+    """Rows of one table, bucketed by (segment, leaf OID), with a mirror
+    copy per segment."""
 
-    def __init__(self, descriptor: TableDescriptor, num_segments: int):
+    def __init__(
+        self,
+        descriptor: TableDescriptor,
+        num_segments: int,
+        health: SegmentHealth | None = None,
+    ):
         if num_segments <= 0:
             raise ValueError("num_segments must be positive")
         self.descriptor = descriptor
         self.num_segments = num_segments
-        # _rows[segment][leaf_oid] -> list of row tuples
+        self.health = health
+        # _rows[segment][leaf_oid] -> list of row tuples (primary copies)
         self._rows: list[dict[int, list[tuple]]] = [
+            {} for _ in range(num_segments)
+        ]
+        # synchronously replicated mirror copy of each primary's buckets
+        self._mirror: list[dict[int, list[tuple]]] = [
             {} for _ in range(num_segments)
         ]
 
@@ -56,6 +75,7 @@ class TableStore:
             oid = desc.oid
         for seg in self._target_segments(validated):
             self._rows[seg].setdefault(oid, []).append(validated)
+            self._mirror[seg].setdefault(oid, []).append(validated)
 
     def insert_many(self, rows: Iterable[Sequence]) -> int:
         count = 0
@@ -74,22 +94,38 @@ class TableStore:
     def truncate(self) -> None:
         for seg_rows in self._rows:
             seg_rows.clear()
+        for seg_rows in self._mirror:
+            seg_rows.clear()
 
     def delete_from_leaf(self, segment: int, oid: int, rows: list[tuple]) -> None:
         """Remove specific rows (used by UPDATE's delete-then-insert)."""
-        bucket = self._rows[segment].get(oid)
-        if not bucket:
-            return
-        for row in rows:
-            bucket.remove(row)
+        for copy in (self._rows, self._mirror):
+            bucket = copy[segment].get(oid)
+            if not bucket:
+                continue
+            for row in rows:
+                bucket.remove(row)
 
     # -- reads --------------------------------------------------------------
+
+    def _segment_buckets(self, segment: int) -> dict[int, list[tuple]]:
+        """The readable copy of one segment's buckets: primary while up,
+        mirror after a failover, :class:`SegmentFailure` on double fault."""
+        health = self.health
+        if health is not None and health.require_readable(segment):
+            health.record_mirror_read(segment)
+            return self._mirror[segment]
+        return self._rows[segment]
+
+    def mirror_buckets(self, segment: int) -> dict[int, list[tuple]]:
+        """Direct view of one segment's mirror copy (tests, resync checks)."""
+        return self._mirror[segment]
 
     def scan_segment(self, segment: int, oids: Sequence[int] | None = None) -> Iterator[tuple]:
         """Rows stored on ``segment``, restricted to the given leaf OIDs.
 
         ``oids=None`` scans everything on the segment (root scan)."""
-        buckets = self._rows[segment]
+        buckets = self._segment_buckets(segment)
         if oids is None:
             keys: Iterable[int] = sorted(buckets)
         else:

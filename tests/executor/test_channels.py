@@ -43,3 +43,57 @@ def test_registry_keys_by_scan_and_segment():
     assert a is registry.channel(1, 0)
     assert a is not b and a is not c
     assert len(registry.channels()) == 3
+
+
+# ---------------------------------------------------------------------------
+# Misuse hardening: the protocol rejects double transitions loudly
+# ---------------------------------------------------------------------------
+
+
+def test_double_close_raises():
+    channel = OidChannel(1, 0)
+    channel.push(10)
+    channel.close()
+    with pytest.raises(ChannelError, match="double close"):
+        channel.close()
+
+
+def test_double_consume_raises():
+    channel = OidChannel(1, 0)
+    channel.push(10)
+    channel.close()
+    assert channel.consume() == [10]
+    with pytest.raises(ChannelError, match="consumed twice"):
+        channel.consume()
+
+
+def test_peek_is_non_destructive():
+    channel = OidChannel(1, 0)
+    channel.push(10)
+    channel.push(20)
+    channel.close()
+    assert channel.peek() == [10, 20]
+    assert channel.peek() == [10, 20]  # repeatable, unlike consume()
+    assert channel.consume() == [10, 20]
+
+
+def test_peek_before_close_raises():
+    channel = OidChannel(1, 0)
+    channel.push(10)
+    with pytest.raises(ChannelError, match="before its producer"):
+        channel.peek()
+
+
+def test_registry_discard_drops_all_segments():
+    registry = ChannelRegistry()
+    registry.channel(1, 0)
+    registry.channel(1, 1)
+    registry.channel(2, 0)
+    removed = registry.discard([1])
+    assert removed == 2
+    assert len(registry.channels()) == 1
+    # A fresh channel replaces the discarded one (retry path).
+    fresh = registry.channel(1, 0)
+    fresh.push(5)
+    fresh.close()
+    assert fresh.consume() == [5]

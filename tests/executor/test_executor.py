@@ -139,3 +139,35 @@ def test_results_identical_across_segment_counts():
         database.analyze()
         results.append(sorted(database.sql(sql).rows))
     assert results[0] == results[1] == results[2]
+
+
+def test_in_list_of_date_strings_prunes_and_counts(orders_db):
+    """Regression: IN over date-shaped string literals used to crash in
+    interval intersection ('str' vs 'date').  It must now execute, return
+    the same count as the equivalent OR of equalities, and statically
+    prune down to the two partitions holding those months."""
+    in_sql = (
+        "SELECT count(*) FROM orders "
+        "WHERE date IN ('2013-05-15', '2013-06-01')"
+    )
+    or_sql = (
+        "SELECT count(*) FROM orders "
+        "WHERE date = '2013-05-15' OR date = '2013-06-01'"
+    )
+    in_result = orders_db.sql(in_sql)
+    assert in_result.rows == orders_db.sql(or_sql).rows
+    assert in_result.partitions_scanned("orders") == 2
+    # Both optimizers handle it, and a mixed list degrades gracefully:
+    # the untranslatable predicate falls back to scanning all partitions
+    # (sound) instead of crashing, and the filter still applies.
+    assert (
+        orders_db.sql(in_sql, optimizer="planner").rows == in_result.rows
+    )
+    mixed = orders_db.sql(
+        "SELECT count(*) FROM orders "
+        "WHERE date IN ('2013-05-15', 'not-a-date')"
+    )
+    only_date = orders_db.sql(
+        "SELECT count(*) FROM orders WHERE date = '2013-05-15'"
+    )
+    assert mixed.rows == only_date.rows

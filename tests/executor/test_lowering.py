@@ -1,7 +1,6 @@
 """Section 3.2 lowering: PartitionSelectors realised through the Table 1
 built-ins must behave exactly like the native operator (Figure 15)."""
 
-import pytest
 
 from repro.executor.lowering import (
     ConstraintsFunctionScan,

@@ -192,11 +192,23 @@ def test_metrics_json_round_trip(orders_db):
     )
     result = orders_db.sql(sql, analyze=True)
     data = json.loads(result.metrics.to_json())
-    assert data["schema_version"] == 1
+    assert data["schema_version"] == 2
     assert data["num_segments"] == SEGMENTS
     assert data["timing_collected"] is True
-    for key in ("nodes", "partition_selectors", "slices", "tables", "totals"):
+    # Every v1 field survives in v2, plus the new resilience section.
+    for key in (
+        "nodes",
+        "partition_selectors",
+        "slices",
+        "tables",
+        "totals",
+        "resilience",
+    ):
         assert key in data
+    # A fault-free run records no retries or failovers.
+    assert data["resilience"]["retry_count"] == 0
+    assert data["resilience"]["failover_count"] == 0
+    assert data["resilience"]["segment_health"]["down_segments"] == []
     # Node list is a pre-order tree: ids sequential, parents precede
     # children, the root has no parent.
     assert [node["id"] for node in data["nodes"]] == list(

@@ -204,6 +204,48 @@ def test_derive_dates():
     assert not derived.contains(datetime.date(2014, 1, 1))
 
 
+def test_key_type_coerces_string_comparands():
+    """Regression: ``date_col IN ('2013-05-15', ...)`` used to build an
+    IntervalSet of raw strings, which crashed when intersected with date
+    partition constraints."""
+    from repro import types as t
+
+    in_list = InList(PK, ["2013-05-15", datetime.date(2013, 6, 1)])
+    derived = derive_interval_set(in_list, PK, key_type=t.DATE)
+    assert derived.contains(datetime.date(2013, 5, 15))
+    assert derived.contains(datetime.date(2013, 6, 1))
+    assert not derived.contains(datetime.date(2013, 7, 1))
+
+    cmp = Comparison(">=", PK, Literal("2013-05-15"))
+    derived = derive_interval_set(cmp, PK, key_type=t.DATE)
+    assert derived.contains(datetime.date(2013, 5, 15))
+    assert not derived.contains(datetime.date(2013, 5, 14))
+
+    between = Between(PK, Literal("2013-05-01"), Literal("2013-05-31"))
+    derived = derive_interval_set(between, PK, key_type=t.DATE)
+    assert derived.contains(datetime.date(2013, 5, 15))
+
+
+def test_key_type_drops_uncoercible_in_values():
+    """A value the key type cannot represent can never equal a well-typed
+    key, so dropping it from the point set is sound."""
+    from repro import types as t
+
+    in_list = InList(PK, ["2013-05-15", "not-a-date"])
+    derived = derive_interval_set(in_list, PK, key_type=t.DATE)
+    assert derived.contains(datetime.date(2013, 5, 15))
+    assert derived == IntervalSet.points([datetime.date(2013, 5, 15)])
+
+
+def test_key_type_uncoercible_comparison_degrades_to_unsupported():
+    """An uncoercible range bound cannot be translated soundly, so the
+    derivation reports 'unsupported' (callers keep all partitions)."""
+    from repro import types as t
+
+    cmp = Comparison("<", PK, Literal("not-a-date"))
+    assert derive_interval_set(cmp, PK, key_type=t.DATE) is None
+
+
 # -- property: derivation agrees with evaluation ------------------------------
 
 _values = st.integers(min_value=-20, max_value=20)

@@ -59,8 +59,70 @@ def test_timing_toggle(session):
 
 
 def test_errors_are_reported_not_raised(session):
-    assert "error" in session.handle_line("SELECT zzz FROM orders;")
+    output = session.handle_line("SELECT zzz FROM orders;")
+    assert output.startswith("ERROR (")
+    assert session.errors == 1
     assert "unknown command" in session.handle_line("\\frobnicate")
+
+
+def test_error_lines_carry_the_failing_stage(session):
+    assert session.handle_line("SELEC 1;").startswith("ERROR (sql):")
+    assert session.handle_line("SELECT zzz FROM orders;").startswith(
+        "ERROR (bind):"
+    )
+    assert session.handle_line(
+        "SELECT count(*) FROM no_such_table;"
+    ).startswith("ERROR (")
+
+
+def test_set_inject_fault_and_failover(session):
+    out = session.handle_line(
+        "SET inject_fault scan_row segment=1 mode=fail_once;"
+    )
+    assert "armed" in out
+    output = session.handle_line("SELECT count(*) FROM orders;")
+    assert "5000" in output
+    assert "resilience:" in output and "1 failovers" in output
+    health = session.handle_line("\\health")
+    assert "down" in health
+    session.db.health.recover_all()
+    assert "disarmed" in session.handle_line("SET inject_fault off;")
+
+
+def test_set_inject_fault_rejects_bad_input(session):
+    assert session.handle_line("SET inject_fault bogus_point;").startswith(
+        "ERROR (sql):"
+    )
+    assert session.handle_line(
+        "SET inject_fault scan_row mode=sometimes;"
+    ).startswith("ERROR (sql):")
+    assert session.handle_line(
+        "SET inject_fault scan_row segment=x;"
+    ).startswith("ERROR (sql):")
+
+
+def test_set_guardrails(session):
+    assert "0.001" in session.handle_line("SET timeout_seconds 0.001;")
+    # A deliberately slow query: joins without the fast path, so the
+    # per-row tick has time to observe the deadline.
+    output = session.handle_line(
+        "SELECT count(*) FROM orders o, orders_fk f "
+        "WHERE o.order_id = f.order_id;"
+    )
+    assert output.startswith("ERROR (execution):")
+    assert "timeout" in output
+    assert "off" in session.handle_line("SET timeout_seconds off;")
+
+    assert "10" in session.handle_line("SET max_rows 10;")
+    output = session.handle_line(
+        "SELECT count(*) FROM orders o, orders_fk f "
+        "WHERE o.order_id = f.order_id;"
+    )
+    assert output.startswith("ERROR (execution):")
+    assert "max_rows" in output
+    assert "off" in session.handle_line("SET max_rows off;")
+    output = session.handle_line("SELECT count(*) FROM orders;")
+    assert "5000" in output
 
 
 def test_quit():
@@ -91,4 +153,6 @@ def test_explain_analyze_statement(session):
     assert "partitions: 3/24" in output
     assert "Slice 0 (root):" in output
     assert "usage: EXPLAIN" in session.handle_line("explain;")
-    assert "error:" in session.handle_line("EXPLAIN ANALYZE SELECT nope;")
+    assert session.handle_line("EXPLAIN ANALYZE SELECT nope;").startswith(
+        "ERROR ("
+    )

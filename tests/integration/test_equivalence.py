@@ -5,7 +5,6 @@ optimizers must agree with each other."""
 import json
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import Database

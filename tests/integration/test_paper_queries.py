@@ -4,7 +4,7 @@ import datetime
 
 import pytest
 
-from tests.conftest import ORDERS_START, approx_rows
+from tests.conftest import approx_rows
 
 
 def _reference_orders(db, lo, hi):

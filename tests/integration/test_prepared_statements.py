@@ -4,7 +4,7 @@ executions, each scanning only the parameter's partitions."""
 
 import pytest
 
-from repro.physical.ops import Append, DynamicScan, PartitionSelector
+from repro.physical.ops import Append, PartitionSelector
 
 
 def test_one_plan_many_parameter_bindings(rs_db):

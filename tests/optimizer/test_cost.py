@@ -1,6 +1,5 @@
 """Cost model sanity: monotonicity and the knobs the benches rely on."""
 
-import pytest
 
 from repro.optimizer.cost import INFINITE, CostModel
 

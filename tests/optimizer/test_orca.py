@@ -1,7 +1,6 @@
 """The Orca-style optimizer: plan shapes, property enforcement, partition
 selection as an enforced property (paper Section 3.1, Figures 13-14)."""
 
-import pytest
 
 from repro.optimizer.memo import Memo
 from repro.optimizer.orca import OrcaOptimizer

@@ -1,8 +1,6 @@
 """Partition-wise joins (paper Section 5 related work: Oracle's feature,
 and the pair-pruning of Herodotou et al. [7]) — an opt-in Planner mode."""
 
-import pytest
-
 from repro import Database
 from repro import types as t
 from repro.catalog import (
@@ -11,8 +9,7 @@ from repro.catalog import (
     TableSchema,
     uniform_int_level,
 )
-from repro.physical.ops import Append, HashJoin, LeafScan, Motion
-from repro.workloads.synthetic import build_rs_database
+from repro.physical.ops import HashJoin, LeafScan, Motion
 
 JOIN = "SELECT count(*) FROM r, s WHERE r.b = s.b"
 

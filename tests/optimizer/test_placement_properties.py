@@ -4,7 +4,6 @@ over partitioned tables, Algorithm 1 must always produce a *valid* plan
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Database
@@ -15,7 +14,7 @@ from repro.catalog import (
     TableSchema,
     uniform_int_level,
 )
-from repro.expr.ast import BoolExpr, ColumnRef, Comparison, Literal
+from repro.expr.ast import ColumnRef, Comparison, Literal
 from repro.optimizer.placement import place_part_selectors
 from repro.physical.ops import (
     DynamicScan,

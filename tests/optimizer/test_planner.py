@@ -1,7 +1,6 @@
 """The legacy Planner baseline: static expansion, plan-size growth,
 parameter-based dynamic elimination, quadratic DML plans."""
 
-import pytest
 
 from repro.physical.ops import (
     Append,

@@ -1,0 +1,131 @@
+"""FaultInjector unit behaviour: arming, triggers, determinism, counters."""
+
+import pytest
+
+from repro.errors import ExecutionError, SegmentFailure
+from repro.resilience import (
+    ALWAYS,
+    FAIL_N,
+    FAIL_ONCE,
+    INJECTION_POINTS,
+    SCAN_ROW,
+    SLICE_START,
+    FaultInjector,
+)
+
+
+def test_inactive_injector_is_a_noop():
+    injector = FaultInjector()
+    assert not injector.active
+    injector.maybe_fire(SCAN_ROW, 0)  # nothing armed, nothing raised
+    assert injector.snapshot() == {}
+
+
+def test_fail_once_fires_exactly_once():
+    injector = FaultInjector()
+    spec = injector.arm(SCAN_ROW, segment=1, mode=FAIL_ONCE)
+    injector.maybe_fire(SCAN_ROW, 0)  # wrong segment
+    with pytest.raises(SegmentFailure) as excinfo:
+        injector.maybe_fire(SCAN_ROW, 1)
+    assert excinfo.value.segment == 1
+    assert excinfo.value.point == SCAN_ROW
+    assert not excinfo.value.transient
+    # Exhausted: further evaluations pass.
+    injector.maybe_fire(SCAN_ROW, 1)
+    assert spec.fired == 1
+
+
+def test_fail_n_fires_n_times():
+    injector = FaultInjector()
+    injector.arm(SLICE_START, mode=FAIL_N, n=3)
+    for _ in range(3):
+        with pytest.raises(SegmentFailure):
+            injector.maybe_fire(SLICE_START, 2)
+    injector.maybe_fire(SLICE_START, 2)  # exhausted
+
+
+def test_always_never_exhausts():
+    injector = FaultInjector()
+    spec = injector.arm(SLICE_START, mode=ALWAYS)
+    for _ in range(10):
+        with pytest.raises(SegmentFailure):
+            injector.maybe_fire(SLICE_START, 0)
+    assert spec.fired == 10
+    assert not spec.exhausted
+
+
+def test_skip_delays_firing():
+    injector = FaultInjector()
+    injector.arm(SCAN_ROW, mode=FAIL_ONCE, skip=2)
+    injector.maybe_fire(SCAN_ROW, 0)
+    injector.maybe_fire(SCAN_ROW, 0)
+    with pytest.raises(SegmentFailure):
+        injector.maybe_fire(SCAN_ROW, 0)
+
+
+def test_transient_flag_propagates():
+    injector = FaultInjector()
+    injector.arm(SCAN_ROW, transient=True)
+    with pytest.raises(SegmentFailure) as excinfo:
+        injector.maybe_fire(SCAN_ROW, 0)
+    assert excinfo.value.transient
+
+
+def test_probability_is_deterministic_per_seed():
+    def fire_pattern(seed: int) -> list[int]:
+        injector = FaultInjector(seed=seed)
+        injector.arm(SCAN_ROW, mode=ALWAYS, probability=0.5)
+        fired = []
+        for i in range(50):
+            try:
+                injector.maybe_fire(SCAN_ROW, 0)
+            except SegmentFailure:
+                fired.append(i)
+        return fired
+
+    assert fire_pattern(7) == fire_pattern(7)
+    assert fire_pattern(7) != fire_pattern(8)
+
+
+def test_disarm_and_reset():
+    injector = FaultInjector()
+    injector.arm(SCAN_ROW)
+    injector.arm(SLICE_START)
+    assert injector.disarm(SCAN_ROW) == 1
+    assert len(injector.specs()) == 1
+    assert injector.disarm() == 1
+    assert not injector.active
+    injector.arm(SCAN_ROW)
+    with pytest.raises(SegmentFailure):
+        injector.maybe_fire(SCAN_ROW, 0)
+    injector.reset()
+    assert injector.snapshot() == {}
+
+
+def test_snapshot_counts_hits_and_fired():
+    injector = FaultInjector()
+    injector.arm(SCAN_ROW, mode=FAIL_ONCE, skip=1)
+    injector.maybe_fire(SCAN_ROW, 0)  # hit, skipped
+    with pytest.raises(SegmentFailure):
+        injector.maybe_fire(SCAN_ROW, 0)
+    snap = injector.snapshot()
+    assert snap[SCAN_ROW] == {"hits": 2, "fired": 1}
+
+
+def test_arm_validates_inputs():
+    injector = FaultInjector()
+    with pytest.raises(ExecutionError):
+        injector.arm("no_such_point")
+    with pytest.raises(ExecutionError):
+        injector.arm(SCAN_ROW, mode="sometimes")
+    with pytest.raises(ExecutionError):
+        injector.arm(SCAN_ROW, n=0)
+    with pytest.raises(ExecutionError):
+        injector.arm(SCAN_ROW, probability=0.0)
+
+
+def test_all_points_are_armable():
+    injector = FaultInjector()
+    for point in INJECTION_POINTS:
+        injector.arm(point)
+    assert len(injector.specs()) == len(INJECTION_POINTS)

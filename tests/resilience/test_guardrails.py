@@ -1,0 +1,132 @@
+"""Query guardrails: timeout, buffered-row budget, cooperative cancel.
+
+Each violation must surface as its own typed error (all subclasses of
+ExecutionError under ReproError), so callers can tell a cancelled query
+from a timed-out or over-budget one.
+"""
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceLimitExceeded,
+)
+from repro.resilience import CancelToken, QueryLimits, RetryPolicy
+
+JOIN_SQL = (
+    "SELECT o.order_id, d.year FROM orders_fk o, date_dim d "
+    "WHERE o.date_id = d.date_id AND d.year = 2012"
+)
+
+
+# -- unit level -------------------------------------------------------------
+
+
+def test_limits_inactive_by_default():
+    limits = QueryLimits()
+    assert not limits.active
+    limits.start()
+    limits.check()
+    for _ in range(10):
+        limits.tick()
+    limits.charge_rows(10**9)  # no budget, no error
+
+
+def test_timeout_raises_query_timeout():
+    limits = QueryLimits(timeout_seconds=0.0)
+    limits.start()
+    with pytest.raises(QueryTimeout):
+        limits.check()
+
+
+def test_max_rows_raises_resource_limit():
+    limits = QueryLimits(max_rows=10)
+    limits.charge_rows(10)
+    with pytest.raises(ResourceLimitExceeded):
+        limits.charge_rows(1)
+    assert limits.buffered_rows == 11
+
+
+def test_cancel_token_raises_query_cancelled():
+    token = CancelToken()
+    limits = QueryLimits(cancel=token)
+    limits.tick()
+    token.cancel()
+    with pytest.raises(QueryCancelled):
+        limits.tick()
+
+
+def test_cancel_after_checks_auto_fires():
+    limits = QueryLimits(cancel=CancelToken(cancel_after_checks=3))
+    limits.tick()
+    limits.tick()
+    with pytest.raises(QueryCancelled):
+        limits.tick()
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        QueryLimits(timeout_seconds=-1)
+    with pytest.raises(ValueError):
+        QueryLimits(max_rows=-1)
+
+
+def test_guardrail_errors_are_typed():
+    for cls in (QueryCancelled, QueryTimeout, ResourceLimitExceeded):
+        assert issubclass(cls, ExecutionError)
+        assert issubclass(cls, ReproError)
+        assert cls("x").stage == "execution"
+
+
+def test_retry_policy_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(
+        max_retries=5, base_delay_seconds=0.01, max_delay_seconds=0.05
+    )
+    assert policy.delay_for(1) == pytest.approx(0.01)
+    assert policy.delay_for(2) == pytest.approx(0.02)
+    assert policy.delay_for(3) == pytest.approx(0.04)
+    assert policy.delay_for(4) == pytest.approx(0.05)  # capped
+    assert RetryPolicy(base_delay_seconds=0).delay_for(3) == 0.0
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+
+
+# -- engine level ------------------------------------------------------------
+
+
+def test_sql_timeout(orders_db):
+    with pytest.raises(QueryTimeout):
+        orders_db.sql(JOIN_SQL, timeout=0.0)
+
+
+def test_sql_max_rows(orders_db):
+    with pytest.raises(ResourceLimitExceeded):
+        orders_db.sql(JOIN_SQL, max_rows=5)
+
+
+def test_sql_cancel(orders_db):
+    with pytest.raises(QueryCancelled):
+        orders_db.sql(
+            JOIN_SQL, cancel=CancelToken(cancel_after_checks=10)
+        )
+
+
+def test_generous_limits_do_not_interfere(orders_db):
+    unrestricted = orders_db.sql(JOIN_SQL).rows
+    guarded = orders_db.sql(
+        JOIN_SQL, timeout=60.0, max_rows=10**7, cancel=CancelToken()
+    ).rows
+    assert sorted(guarded) == sorted(unrestricted)
+
+
+def test_max_rows_counts_motion_buffers(orders_db):
+    # Even a plain scan buffers its rows at the GatherMotion, so the
+    # budget bounds what the coordinator materializes: 2400 rows pass a
+    # 2400-row budget and fail a 2399-row one.
+    result = orders_db.sql("SELECT order_id FROM orders", max_rows=2400)
+    assert len(result.rows) == 2400
+    with pytest.raises(ResourceLimitExceeded):
+        orders_db.sql("SELECT order_id FROM orders", max_rows=2399)

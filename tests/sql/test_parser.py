@@ -10,7 +10,6 @@ from repro.expr.ast import (
     Between,
     BoolExpr,
     ColumnRef,
-    Comparison,
     InList,
     IsNull,
     Literal,
@@ -108,6 +107,18 @@ class TestExpressions:
         plain = parse_expression("'not-a-date'")
         assert plain == Literal("not-a-date")
 
+    def test_in_list_date_literals_are_coerced(self):
+        # Regression: IN lists used to keep date-shaped strings as raw
+        # strings, crashing interval intersection against DATE partition
+        # constraints ('str' vs 'date' comparison).
+        expr = parse_expression("d IN ('2013-05-15', '06-01-2013', 'other')")
+        assert isinstance(expr, InList)
+        assert expr.values == (
+            datetime.date(2013, 5, 15),
+            datetime.date(2013, 6, 1),
+            "other",
+        )
+
 
 class TestStatements:
     def test_paper_figure_2_query(self):
@@ -168,6 +179,13 @@ class TestStatements:
     def test_insert_negative_number(self):
         stmt = parse("INSERT INTO t VALUES (-5)")
         assert stmt.rows == [[-5]]
+
+    def test_insert_keeps_date_shaped_strings_raw(self):
+        # INSERT VALUES literals are typed by the target column (the
+        # binder coerces them), so a TEXT column can store '2013-05-15'
+        # verbatim — only IN/comparison comparands get date recognition.
+        stmt = parse("INSERT INTO t VALUES ('2013-05-15')")
+        assert stmt.rows == [["2013-05-15"]]
 
     def test_trailing_semicolon(self):
         parse("SELECT 1 FROM t;")
