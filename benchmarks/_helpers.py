@@ -50,6 +50,16 @@ def emit(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def emit_json(name: str, payload) -> None:
+    """Persist an experiment's machine-readable results alongside the text
+    table (``benchmarks/results/<name>.json``; CI uploads these as a
+    workflow artifact)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
+
+
 def format_table(headers: list[str], rows: list[list]) -> list[str]:
     """Plain-text aligned table."""
     rendered = [[str(cell) for cell in row] for row in rows]

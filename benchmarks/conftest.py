@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import Tracer, activate
 from repro.workloads import tpcds
 
 FACT_ROWS = 2500
@@ -38,9 +39,13 @@ class WorkloadRun:
                     {"enable_partition_elimination": False},
                 ),
             ):
-                # Plan once; take the best of three executions so the
-                # millisecond-scale wall clocks are not pure noise.
-                plan = self.db.plan(query.sql, **options)
+                # Plan once (under a tracer, so the optimize-phase wall
+                # time lands in the measurements); take the best of three
+                # executions so the millisecond-scale wall clocks are not
+                # pure noise.
+                tracer = Tracer()
+                with activate(tracer):
+                    plan = self.db.plan(query.sql, **options)
                 result = self.db.execute_plan(plan)
                 elapsed = result.elapsed_seconds
                 for _ in range(2):
@@ -54,6 +59,7 @@ class WorkloadRun:
                     "partitions": stats.get("partitions_scanned", 0),
                     "rows_scanned": result.metrics.total_rows_scanned,
                     "elapsed": elapsed,
+                    "optimize_seconds": tracer.seconds("optimize"),
                     "table": table,
                 }
             self.measurements[query.name] = entry

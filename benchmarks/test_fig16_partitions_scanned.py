@@ -20,7 +20,7 @@ def test_fig16_partitions_scanned(benchmark, workload_run):
 def _report(workload_run):
     from repro.workloads.tpcds import FACT_TABLES
 
-    from ._helpers import emit, format_table
+    from ._helpers import emit, emit_json, format_table
 
     totals = {
         table: {"orca": 0, "planner": 0} for table in FACT_TABLES
@@ -45,6 +45,7 @@ def _report(workload_run):
             ["table", "planner parts", "orca parts", "orca reduction"], rows
         ),
     )
+    emit_json("fig16_partitions_scanned", {"tables": totals})
 
     # Orca never scans more than Planner on any table, and achieves a
     # substantial reduction (paper: up to 80%) on at least one.

@@ -39,6 +39,10 @@ Meta commands:
   \\optimizer [NAME]  show or switch the optimizer (orca | planner)
   \\timing            toggle per-query timing output
   \\health            show segment health (primaries, mirrors, failovers)
+  \\stats             cumulative per-query statistics (calls, time, rows,
+                     partitions scanned/eligible, retries, failovers)
+  \\stats prometheus  the same store in Prometheus text format
+  \\stats reset       clear the statistics store
   \\help              this text
   \\q                 quit
 SET statements configure the session:
@@ -47,12 +51,17 @@ SET statements configure the session:
   SET inject_fault off;                             disarm all faults
   SET timeout_seconds V;   SET timeout_seconds off; per-query timeout
   SET max_rows N;          SET max_rows off;        buffered-row budget
-SQL statements additionally support the EXPLAIN and EXPLAIN ANALYZE
-prefixes (the latter executes the query and annotates the plan with
-per-node actual rows, partitions scanned and Motion traffic).
+SQL statements additionally support the EXPLAIN, EXPLAIN ANALYZE and
+EXPLAIN (TRACE) prefixes (ANALYZE executes the query and annotates the
+plan with per-node actual rows, partitions scanned and Motion traffic;
+TRACE plans it under a tracer and shows the lifecycle span tree plus the
+optimizer's search summary).
 Everything else is executed as SQL (end with ';' or a blank line)."""
 
-_EXPLAIN_RE = re.compile(r"^explain(\s+analyze)?\b(.*)$", re.IGNORECASE | re.DOTALL)
+_EXPLAIN_RE = re.compile(
+    r"^explain\b(?:\s+(analyze)\b|\s*\(\s*(trace)\s*\)|\s+(trace)\b)?(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
 _SET_RE = re.compile(r"^set\s+(\w+)\b(.*)$", re.IGNORECASE | re.DOTALL)
 
 
@@ -129,7 +138,20 @@ class ReplSession:
             if any(status["mirror_reads"]):
                 lines.append(f"  mirror reads: {status['mirror_reads']}")
             return "\n".join(lines)
+        if name == "\\stats":
+            return self._stats(argument)
         return f"unknown command {name!r}; try \\help"
+
+    def _stats(self, argument: str) -> str:
+        store = self.db.stats()
+        if not argument:
+            return store.render()
+        if argument.lower() == "reset":
+            store.reset()
+            return "query statistics reset"
+        if argument.lower() == "prometheus":
+            return store.to_prometheus()
+        return "usage: \\stats [reset | prometheus]"
 
     def _describe(self, name: str) -> str:
         if name:
@@ -152,7 +174,7 @@ class ReplSession:
             return "no tables (try \\demo)"
         lines = ["tables:"]
         for table in tables:
-            stats = self.db.stats.get(table)
+            stats = self.db.statistics.get(table)
             parts = f", {table.num_leaves} parts" if table.is_partitioned else ""
             lines.append(
                 f"  {table.name:<20} ~{stats.row_count} rows{parts}"
@@ -182,9 +204,9 @@ class ReplSession:
             return ""
         explain = _EXPLAIN_RE.match(sql.strip())
         if explain is not None:
-            body = explain.group(2).strip().rstrip(";")
+            body = explain.group(4).strip().rstrip(";")
             if not body:
-                return "usage: EXPLAIN [ANALYZE] SELECT ..."
+                return "usage: EXPLAIN [ANALYZE | (TRACE)] SELECT ..."
             try:
                 if explain.group(1):
                     # ANALYZE executes the query, so session guardrails
@@ -195,6 +217,8 @@ class ReplSession:
                         timeout=self.timeout_seconds,
                         max_rows=self.max_rows,
                     )
+                if explain.group(2) or explain.group(3):
+                    return self.db.explain_trace(body, optimizer=self.optimizer)
                 return self.db.explain(body, optimizer=self.optimizer)
             except ReproError as exc:
                 return self._error(exc)

@@ -30,6 +30,10 @@ from .catalog import (
 from .errors import ReproError
 from .executor.executor import ExecutionResult, MppExecutor
 from .logical.ops import LogicalOp
+from .obs import trace as obs_trace
+from .obs.render import render_explain_trace
+from .obs.stats_store import QueryStatsStore
+from .obs.trace import Tracer
 from .optimizer.cost import CostModel
 from .optimizer.orca import OrcaOptimizer
 from .optimizer.planner import PlannerOptimizer
@@ -62,9 +66,14 @@ class Database:
         self.num_segments = num_segments
         self.catalog = Catalog()
         self.storage = StorageManager(self.catalog, num_segments)
-        self.stats = StatsRegistry()
+        #: optimizer statistics (ANALYZE results) — renamed from ``stats``
+        #: so :meth:`stats` can surface the cumulative query-stats store
+        self.statistics = StatsRegistry()
         self.cost_model = cost_model or CostModel()
         self.binder = Binder(self.catalog)
+        #: process-lifetime cumulative per-fingerprint query statistics
+        #: (every ``sql()`` call is recorded; read via :meth:`stats`)
+        self.query_stats = QueryStatsStore()
         #: shared fault injector — arm via ``db.faults.arm(...)`` (or the
         #: CLI's ``SET inject_fault ...``); injected faults exercise the
         #: retry/failover machinery end to end.
@@ -110,10 +119,19 @@ class Database:
     def analyze(self, table: str | None = None) -> None:
         """Collect statistics (ANALYZE) for one or all tables."""
         if table is not None:
-            self.stats.analyze(self.storage.store_by_name(table))
+            self.statistics.analyze(self.storage.store_by_name(table))
             return
         for descriptor in self.catalog.tables():
-            self.stats.analyze(self.storage.store(descriptor.oid))
+            self.statistics.analyze(self.storage.store(descriptor.oid))
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> QueryStatsStore:
+        """The cumulative query statistics store (pg_stat_statements-style):
+        per-fingerprint calls, timings, rows, partitions scanned vs.
+        eligible, retries/failovers.  Export with ``.to_json()`` or
+        ``.to_prometheus()``; reset with ``.reset()``."""
+        return self.query_stats
 
     # -- optimizers ---------------------------------------------------------------
 
@@ -127,7 +145,7 @@ class Database:
         if optimizer == ORCA:
             return OrcaOptimizer(
                 self.catalog,
-                self.stats,
+                self.statistics,
                 cost_model=self.cost_model,
                 num_segments=self.num_segments,
                 **options,
@@ -135,17 +153,32 @@ class Database:
         if optimizer == PLANNER:
             return PlannerOptimizer(
                 self.catalog,
-                self.stats,
+                self.statistics,
                 num_segments=self.num_segments,
                 **options,
             )
         raise ReproError(f"unknown optimizer {optimizer!r}")
 
     def bind(self, query: str) -> LogicalOp:
-        statement = parse(query)
+        with obs_trace.span("parse"):
+            statement = parse(query)
         if isinstance(statement, InsertStmt):
             raise ReproError("INSERT statements are executed, not planned")
-        return self.binder.bind(statement)
+        with obs_trace.span("bind"):
+            return self.binder.bind(statement)
+
+    def _optimize(
+        self,
+        logical: LogicalOp,
+        optimizer: str,
+        parameter_count: int,
+        **options,
+    ) -> Plan:
+        """The optimize lifecycle phase (one span; the optimizer emits the
+        nested ``place_partition_selectors`` span and search events)."""
+        engine = self.make_optimizer(optimizer, **options)
+        with obs_trace.span("optimize", optimizer=optimizer):
+            return engine.optimize(logical, parameter_count)
 
     def plan(
         self,
@@ -156,11 +189,22 @@ class Database:
     ) -> Plan:
         """Parse, bind and optimize a query into a physical plan."""
         logical = self.bind(query)
-        engine = self.make_optimizer(optimizer, **options)
-        return engine.optimize(logical, parameter_count)
+        return self._optimize(logical, optimizer, parameter_count, **options)
 
     def explain(self, query: str, optimizer: str = ORCA, **options) -> str:
         return self.plan(query, optimizer, **options).explain()
+
+    def explain_trace(
+        self, query: str, optimizer: str = ORCA, **options
+    ) -> str:
+        """``EXPLAIN (TRACE)``: plan the query under a fresh tracer and
+        render the physical plan, the lifecycle span tree and the
+        optimizer search summary (groups, rule firings, enforcer
+        decisions, alternatives pruned, optimization time)."""
+        tracer = Tracer()
+        with obs_trace.activate(tracer):
+            plan = self.plan(query, optimizer, **options)
+        return render_explain_trace(plan.explain(), tracer)
 
     def explain_analyze(
         self,
@@ -187,6 +231,8 @@ class Database:
         timeout: float | None = None,
         max_rows: int | None = None,
         cancel: CancelToken | None = None,
+        trace: bool = False,
+        lower_selectors: bool = False,
         **options,
     ) -> ExecutionResult:
         """Parse, plan and execute one statement.
@@ -194,6 +240,17 @@ class Database:
         ``analyze=True`` enables per-node wall-clock timing collection on
         top of the always-on row/partition/motion counters; the result's
         ``metrics`` object and ``explain_analyze()`` expose them.
+
+        ``trace=True`` additionally records a lifecycle trace (parse →
+        bind → optimize → place_partition_selectors → lower → execute,
+        with per-slice child spans) plus the optimizer's typed search
+        events; the tracer is attached as ``result.trace`` and summarised
+        in the metrics export's ``trace``/``optimizer`` sections (schema
+        v3).  Tracing is off by default and costs nothing when off.
+
+        ``lower_selectors=True`` applies the Section 3.2 lowering (the
+        ``lower`` phase rewrites PartitionSelectors into plain operator
+        plumbing) before execution.
 
         The guardrail parameters build the query's
         :class:`~repro.resilience.QueryLimits`: ``timeout`` (seconds of
@@ -204,10 +261,38 @@ class Database:
         :class:`~repro.resilience.CancelToken` whose :meth:`cancel` makes
         the next checkpoint raise :class:`~repro.errors.QueryCancelled`).
         """
-        limits = QueryLimits(
-            timeout_seconds=timeout, max_rows=max_rows, cancel=cancel
-        )
-        statement = parse(query)
+        tracer = Tracer() if trace else None
+        with obs_trace.activate(tracer):
+            result = self._sql(
+                query,
+                optimizer,
+                params,
+                analyze,
+                QueryLimits(
+                    timeout_seconds=timeout, max_rows=max_rows, cancel=cancel
+                ),
+                lower_selectors,
+                **options,
+            )
+        if tracer is not None:
+            result.trace = tracer
+            result.metrics.record_trace(tracer.to_dict())
+            result.metrics.record_optimizer(tracer.optimizer.summary())
+        self.query_stats.record(query, result)
+        return result
+
+    def _sql(
+        self,
+        query: str,
+        optimizer: str,
+        params: Sequence[Any] | None,
+        analyze: bool,
+        limits: QueryLimits,
+        lower_selectors: bool,
+        **options,
+    ) -> ExecutionResult:
+        with obs_trace.span("parse"):
+            statement = parse(query)
         if isinstance(statement, InsertStmt):
             from .obs import MetricsCollector
 
@@ -215,18 +300,22 @@ class Database:
                 # INSERT ... SELECT: plan and run the query, then load its
                 # rows (schema-validated and re-routed through f_T).
                 target = self.catalog.table(statement.table.name)
-                logical = self.binder.bind_select(statement.select)
-                engine = self.make_optimizer(optimizer, **options)
-                plan = engine.optimize(logical, len(params) if params else 0)
+                with obs_trace.span("bind"):
+                    logical = self.binder.bind_select(statement.select)
+                plan = self._optimize(
+                    logical, optimizer, len(params) if params else 0, **options
+                )
                 if len(plan.root.output_layout()) != len(target.schema):
                     raise ReproError(
                         f"INSERT INTO {target.name}: SELECT produces "
                         f"{len(plan.root.output_layout())} columns, table "
                         f"has {len(target.schema)}"
                     )
-                selected = self.executor.execute(
-                    plan, params, analyze=analyze, limits=limits
-                )
+                plan = self._lower(plan, lower_selectors)
+                with obs_trace.span("execute"):
+                    selected = self.executor.execute(
+                        plan, params, analyze=analyze, limits=limits
+                    )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
                     [(count,)],
@@ -234,7 +323,8 @@ class Database:
                     selected.metrics,
                     selected.elapsed_seconds,
                 )
-            table, rows = self.binder.bind_insert_rows(statement)
+            with obs_trace.span("bind"):
+                table, rows = self.binder.bind_insert_rows(statement)
             count = self.insert(table, rows)
             return ExecutionResult(
                 [(count,)],
@@ -242,10 +332,28 @@ class Database:
                 MetricsCollector(self.num_segments),
                 0.0,
             )
-        logical = self.binder.bind(statement)
-        engine = self.make_optimizer(optimizer, **options)
-        plan = engine.optimize(logical, len(params) if params else 0)
-        return self.executor.execute(plan, params, analyze=analyze, limits=limits)
+        with obs_trace.span("bind"):
+            logical = self.binder.bind(statement)
+        plan = self._optimize(
+            logical, optimizer, len(params) if params else 0, **options
+        )
+        plan = self._lower(plan, lower_selectors)
+        with obs_trace.span("execute"):
+            return self.executor.execute(
+                plan, params, analyze=analyze, limits=limits
+            )
+
+    def _lower(self, plan: Plan, lower_selectors: bool) -> Plan:
+        """The lower lifecycle phase: finalize the plan into its
+        executable form — optionally rewriting PartitionSelectors via the
+        Section 3.2 lowering — and re-validate it."""
+        with obs_trace.span("lower", selectors_lowered=lower_selectors):
+            if lower_selectors:
+                from .executor.lowering import lower_partition_selectors
+
+                plan = lower_partition_selectors(plan)
+            plan.validate()
+        return plan
 
     def execute_plan(
         self,

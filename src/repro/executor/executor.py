@@ -30,11 +30,13 @@ results identical to a fault-free run.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Callable, Sequence
 
 from ..catalog import Catalog
 from ..errors import SegmentFailure
 from ..expr.eval import compile_expression
+from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsCollector, ScanTracker
 from ..obs.render import render_explain_analyze
 from ..physical import ops as phys
@@ -66,10 +68,20 @@ class ExecutionResult:
         self.column_names = column_names
         self.metrics = metrics
         self.elapsed_seconds = elapsed_seconds
+        #: the lifecycle :class:`~repro.obs.Tracer` when the statement ran
+        #: with ``trace=True``; ``None`` otherwise
+        self.trace = None
 
     @property
     def tracker(self) -> ScanTracker:
         """Deprecated aggregate view; prefer :attr:`metrics`."""
+        warnings.warn(
+            "ExecutionResult.tracker is deprecated; use the per-node "
+            "metrics instead (result.metrics, result.partitions_scanned(), "
+            "result.rows_scanned)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.metrics.tracker
 
     def partitions_scanned(self, table_name: str | None = None) -> int:
@@ -149,14 +161,15 @@ class MppExecutor:
             limits.check()
             slice_started = time.perf_counter()
             slice_scan_ids = _slice_part_scan_ids(motion.children[0])
-            self._run_slice_with_retry(
-                ctx,
-                slice_id,
-                run=lambda motion=motion: self._run_motion(motion, ctx),
-                reset=lambda motion=motion, ids=slice_scan_ids: (
-                    ctx.reset_slice(ids, motion_id=id(motion))
-                ),
-            )
+            with obs_trace.span(f"slice:{slice_id}", motion=motion.name):
+                self._run_slice_with_retry(
+                    ctx,
+                    slice_id,
+                    run=lambda motion=motion: self._run_motion(motion, ctx),
+                    reset=lambda motion=motion, ids=slice_scan_ids: (
+                        ctx.reset_slice(ids, motion_id=id(motion))
+                    ),
+                )
             metrics.record_slice(
                 slice_id,
                 f"below {motion.name}",
@@ -165,12 +178,13 @@ class MppExecutor:
         limits.check()
         root_started = time.perf_counter()
         root_scan_ids = _slice_part_scan_ids(plan.root)
-        rows: list[tuple] = self._run_slice_with_retry(
-            ctx,
-            0,
-            run=lambda: self._run_root(plan.root, ctx),
-            reset=lambda: ctx.reset_slice(root_scan_ids),
-        )
+        with obs_trace.span("slice:0", motion="root"):
+            rows: list[tuple] = self._run_slice_with_retry(
+                ctx,
+                0,
+                run=lambda: self._run_root(plan.root, ctx),
+                reset=lambda: ctx.reset_slice(root_scan_ids),
+            )
         metrics.record_slice(0, "root", time.perf_counter() - root_started)
         limits.check()
         elapsed = time.perf_counter() - started

@@ -1,4 +1,4 @@
-"""Observability: per-node execution metrics and EXPLAIN ANALYZE.
+"""Observability: metrics, query-lifecycle tracing and cumulative stats.
 
 The paper's whole evaluation (Section 4) is built on runtime observables —
 partitions scanned per DynamicScan, rows moved per Motion, per-slice wall
@@ -11,17 +11,36 @@ time.  This package makes those observables first class:
   records its elimination mode (static vs dynamic) and selectivity.
 * :func:`render_explain_analyze` — the physical plan annotated with
   actuals next to the optimizer's estimates (``EXPLAIN ANALYZE``).
+* :mod:`repro.obs.trace` — span-based query-lifecycle tracing
+  (parse → bind → optimize → place_partition_selectors → lower →
+  execute, with per-slice child spans), off by default and free when off.
+* :mod:`repro.obs.opt_events` — typed Cascades search events (groups,
+  rule firings, enforcer decisions, costed winners) emitted by the
+  optimizer into the active trace; rendered by ``EXPLAIN (TRACE)``.
+* :class:`QueryStatsStore` — process-lifetime cumulative per-fingerprint
+  query statistics with JSON and Prometheus-text exports (``db.stats()``
+  and the CLI's ``\\stats``).
 * ``MetricsCollector.to_json()`` — a stable JSON export consumed by the
   CLI, the benchmarks and external tooling (schema documented in
-  ``docs/architecture.md``).
+  ``docs/observability.md``).
 """
 
 from .metrics import MetricsCollector, NodeMetrics, ScanTracker
-from .render import render_explain_analyze
+from .opt_events import OptimizerEventLog
+from .render import render_explain_analyze, render_explain_trace
+from .stats_store import QueryStatsStore, fingerprint
+from .trace import Span, Tracer, activate
 
 __all__ = [
     "MetricsCollector",
     "NodeMetrics",
+    "OptimizerEventLog",
+    "QueryStatsStore",
     "ScanTracker",
+    "Span",
+    "Tracer",
+    "activate",
+    "fingerprint",
     "render_explain_analyze",
+    "render_explain_trace",
 ]

@@ -28,7 +28,11 @@ from typing import Any, Iterator
 #: v2: added the top-level "resilience" section (retries, failovers,
 #: fault-injection hit counters, segment health); every v1 field is
 #: unchanged.
-METRICS_SCHEMA_VERSION = 2
+#: v3: additive "trace" and "optimizer" sections (null unless the query
+#: ran with tracing — see docs/observability.md); scan nodes and table
+#: entries gain sorted "partition_oids" lists; table keys are sorted so
+#: the export is byte-stable across runs.
+METRICS_SCHEMA_VERSION = 3
 
 
 class ScanTracker:
@@ -170,6 +174,10 @@ class NodeMetrics:
                 "table": self.table_name,
                 "partitions_scanned": self.partitions_scanned,
                 "partitions_total": self.partitions_total,
+                # sorted so golden-file comparisons are stable (v3)
+                "partition_oids": sorted(set().union(*self.partitions))
+                if self.partitions
+                else [],
                 "rows_scanned": self.total_rows_scanned,
             }
         if self.is_motion:
@@ -215,6 +223,11 @@ class MetricsCollector:
         self.fault_points: dict[str, dict] = {}
         #: SegmentHealth.status() snapshot at query end
         self.segment_health: dict | None = None
+        # tracing (schema v3) — populated only when the query was traced
+        #: Tracer.to_dict() snapshot: lifecycle phases + span list
+        self.trace_summary: dict | None = None
+        #: OptimizerEventLog.summary() snapshot: search statistics
+        self.optimizer_summary: dict | None = None
 
     # -- plan registration --------------------------------------------------
 
@@ -390,6 +403,17 @@ class MetricsCollector:
         """Final :meth:`SegmentHealth.status` snapshot for the query."""
         self.segment_health = status
 
+    # -- tracing (schema v3) ---------------------------------------------------
+
+    def record_trace(self, summary: dict) -> None:
+        """Attach a traced run's span summary (:meth:`Tracer.to_dict`)."""
+        self.trace_summary = summary
+
+    def record_optimizer(self, summary: dict) -> None:
+        """Attach the optimizer search summary
+        (:meth:`OptimizerEventLog.summary`)."""
+        self.optimizer_summary = summary
+
     @property
     def retry_count(self) -> int:
         return len(self.retries)
@@ -423,12 +447,15 @@ class MetricsCollector:
         return self.tracker.total_partitions_scanned()
 
     def table_stats(self) -> dict[str, dict]:
-        """Per-table scan summary: partitions scanned / total, rows read."""
+        """Per-table scan summary: partitions scanned / total, sorted OID
+        list, rows read.  Keys are sorted by table name so the export is
+        stable across runs (v3)."""
         stats: dict[str, dict] = {}
         for name, oids in self.tracker.partitions.items():
             stats[name] = {
                 "partitions_scanned": len(oids),
                 "partitions_total": self._table_totals.get(name),
+                "partition_oids": sorted(oids),
                 "rows_scanned": 0,
             }
         for node in self.nodes:
@@ -441,11 +468,12 @@ class MetricsCollector:
                     "partitions_total": self._table_totals.get(
                         node.table_name
                     ),
+                    "partition_oids": [],
                     "rows_scanned": 0,
                 },
             )
             entry["rows_scanned"] += node.total_rows_scanned
-        return stats
+        return dict(sorted(stats.items()))
 
     def motion_stats(self) -> dict:
         """Aggregate Motion traffic, total and per kind."""
@@ -487,6 +515,8 @@ class MetricsCollector:
                 "motion_bytes": motion["bytes_moved"],
             },
             "resilience": self.resilience_stats(),
+            "trace": self.trace_summary,
+            "optimizer": self.optimizer_summary,
         }
 
     def to_json(self, indent: int | None = None) -> str:

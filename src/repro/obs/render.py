@@ -90,6 +90,24 @@ def _render_node(node: NodeMetrics, metrics: MetricsCollector) -> str:
     return line + " (" + "; ".join(annotations) + ")"
 
 
+def render_explain_trace(plan_text: str, tracer) -> str:
+    """``EXPLAIN (TRACE)``: the physical plan followed by the lifecycle
+    span tree and the optimizer search summary.
+
+    ``plan_text`` is :meth:`repro.physical.plan.Plan.explain` output;
+    ``tracer`` is the :class:`~repro.obs.trace.Tracer` that was active
+    while the plan was produced.
+    """
+    sections = [plan_text, "", "Optimization trace:"]
+    span_tree = tracer.render()
+    if span_tree:
+        sections.extend("  " + line for line in span_tree.splitlines())
+    else:
+        sections.append("  (no spans recorded)")
+    sections.append(tracer.optimizer.render())
+    return "\n".join(sections)
+
+
 def _human_bytes(count: int) -> str:
     if count >= 1024 * 1024:
         return f"{count / (1024 * 1024):.1f} MB"

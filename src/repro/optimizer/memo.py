@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..errors import OptimizerError
 from ..expr.eval import RowLayout
+from ..obs import opt_events
 from ..logical.ops import (
     LogicalDelete,
     LogicalGet,
@@ -150,6 +151,9 @@ class Group:
             return False
         self._keys.add(key)
         self.gexprs.append(gexpr)
+        log = opt_events.log()
+        if log is not None:
+            log.expression_added(self.id, repr(gexpr), gexpr.is_logical)
         return True
 
     def logical_exprs(self) -> list[GroupExpression]:
@@ -219,6 +223,9 @@ class Memo:
             len(self.groups), layout, aliases, consumer_specs, estimate
         )
         self.groups.append(group)
+        log = opt_events.log()
+        if log is not None:
+            log.group_created(group.id, estimate.rows)
         return group
 
     def _estimate(

@@ -29,8 +29,12 @@ no Motion can separate the consumer from the join.
 
 from __future__ import annotations
 
+import time
+
 from ..catalog import Catalog, DistributionPolicy, TableDescriptor
 from ..errors import OptimizerError
+from ..obs import opt_events
+from ..obs import trace as obs_trace
 from ..expr.analysis import (
     conj,
     derive_interval_set,
@@ -89,6 +93,8 @@ class OrcaOptimizer:
     def optimize(
         self, logical_root: LogicalOp, parameter_count: int = 0
     ) -> Plan:
+        log = opt_events.log()
+        started = time.perf_counter() if log is not None else 0.0
         memo = Memo(self.stats)
         root_gid = memo.copy_in(logical_root)
         explore(memo)
@@ -101,9 +107,14 @@ class OrcaOptimizer:
         best = self._optimize_group(root_gid, request)
         if best is None or best.cost == INFINITE:
             raise OptimizerError("no valid plan found for query")
-        root_op = self._extract(root_gid, request)
+        # Extraction is where enforcer decisions materialise into the tree —
+        # the in-Memo analogue of the paper's PlacePartSelectors pass.
+        with obs_trace.span("place_partition_selectors"):
+            root_op = self._extract(root_gid, request)
         plan = Plan(root_op, parameter_count)
         plan.validate()
+        if log is not None:
+            log.set_optimization_seconds(time.perf_counter() - started)
         return plan
 
     # -- group optimization ----------------------------------------------------
@@ -118,6 +129,9 @@ class OrcaOptimizer:
         if request in group._in_progress:
             return None
         group._in_progress.add(request)
+        log = opt_events.log()
+        if log is not None:
+            log.property_request(gid, repr(request))
         try:
             candidates: list[BestInfo] = []
             for gexpr in group.physical_exprs():
@@ -130,6 +144,14 @@ class OrcaOptimizer:
                 if best is None or candidate.cost < best.cost:
                     best = candidate
             group.best[request] = best
+            if log is not None and best is not None:
+                log.winner_costed(
+                    gid,
+                    repr(request),
+                    best.cost,
+                    best.kind,
+                    len(candidates) - 1,
+                )
             return best
         finally:
             group._in_progress.discard(request)
@@ -142,6 +164,7 @@ class OrcaOptimizer:
         model = self.cost_model
         rows = group.estimate.rows
         candidates: list[BestInfo] = []
+        log = opt_events.log()
 
         # Motion enforcers: only when no co-location constraint applies and
         # every pending spec's consumer is inside this subtree (otherwise
@@ -166,6 +189,8 @@ class OrcaOptimizer:
                 else:
                     cost = child.cost + rows * model.motion_row
                 if not child.delivered.satisfies(request.dist):
+                    if log is not None:
+                        log.enforcer_added(opt_events.MOTION, gid, kind)
                     candidates.append(
                         BestInfo(
                             BestInfo.MOTION,
@@ -191,6 +216,13 @@ class OrcaOptimizer:
                 + rows * model.selector_tuple
                 + model.selector_setup
             )
+            if log is not None:
+                log.enforcer_added(
+                    opt_events.PARTITION_SELECTOR,
+                    gid,
+                    f"part_scan {spec.part_scan_id}",
+                    placement="on_top",
+                )
             candidates.append(
                 BestInfo(
                     BestInfo.SELECTOR,
@@ -274,6 +306,14 @@ class OrcaOptimizer:
             + selected * model.partition_open
             + model.selector_setup
         )
+        log = opt_events.log()
+        if log is not None:
+            log.enforcer_added(
+                opt_events.PARTITION_SELECTOR,
+                group.id,
+                f"part_scan {spec.part_scan_id}, {selected}/{leaves} leaves",
+                placement="scan_unit",
+            )
         return [
             BestInfo(
                 BestInfo.SCAN_UNIT,

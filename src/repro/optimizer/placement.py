@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from ..errors import OptimizerError
 from ..expr.analysis import conj, find_preds_on_keys
+from ..obs import opt_events
+from ..obs import trace as obs_trace
 from ..expr.ast import ColumnRef, Expression, column_refs
 from ..physical.ops import (
     DynamicScan,
@@ -73,7 +75,8 @@ def place_part_selectors(
     """Algorithm 1: return a new tree with all PartitionSelectors placed."""
     if specs is None:
         specs = initial_specs(root)
-    placed = _place(root, specs)
+    with obs_trace.span("place_partition_selectors", specs=len(specs)):
+        placed = _place(root, specs)
     unresolved = [
         spec for spec in specs if not _has_part_scan_id(placed, spec.part_scan_id)
     ]
@@ -101,7 +104,15 @@ def _enforce_on_top(
     expr: PhysicalOp, specs: list[PartSelectorSpec]
 ) -> PhysicalOp:
     """EnforcePartSelectors: wrap ``expr`` in pass-through selectors."""
+    log = opt_events.log()
     for spec in specs:
+        if log is not None:
+            log.enforcer_added(
+                opt_events.PARTITION_SELECTOR,
+                -1,  # standalone placement runs outside any Memo group
+                f"part_scan {spec.part_scan_id}",
+                placement="on_top",
+            )
         expr = PartitionSelector(_prune_unavailable(spec, expr), expr)
     return expr
 
@@ -127,6 +138,14 @@ def _enforce_at_scan(
     result: PhysicalOp = scan
     if mine:
         spec = _constant_only(mine[0])
+        log = opt_events.log()
+        if log is not None:
+            log.enforcer_added(
+                opt_events.PARTITION_SELECTOR,
+                -1,
+                f"part_scan {spec.part_scan_id}",
+                placement="scan_unit",
+            )
         result = Sequence([PartitionSelector(spec), scan])
     return _enforce_on_top(result, others)
 

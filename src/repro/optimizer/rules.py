@@ -12,6 +12,7 @@ from ..errors import OptimizerError
 from ..expr.analysis import conj, conjuncts
 from ..expr.ast import Comparison, Expression, column_refs
 from ..expr.eval import RowLayout
+from ..obs import opt_events
 from ..logical.ops import (
     LogicalDelete,
     LogicalGet,
@@ -54,15 +55,23 @@ def _apply_join_commutativity(group: Group, gexpr: GroupExpression) -> bool:
     )
     added = group.add(swapped)
     swapped.rule_mask.add(JOIN_COMMUTE)
+    if added:
+        log = opt_events.log()
+        if log is not None:
+            log.rule_fired(JOIN_COMMUTE, group.id)
     return added
 
 
 def implement(memo: Memo) -> None:
     """Create physical alternatives for every logical expression."""
+    log = opt_events.log()
     for group in memo:
         for gexpr in list(group.logical_exprs()):
             for physical in _implementations(memo, group, gexpr):
-                group.add(physical)
+                if group.add(physical) and log is not None:
+                    log.rule_fired(
+                        f"implement_{type(physical.op).__name__}", group.id
+                    )
 
 
 def _implementations(memo: Memo, group: Group, gexpr: GroupExpression):

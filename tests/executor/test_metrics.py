@@ -192,10 +192,11 @@ def test_metrics_json_round_trip(orders_db):
     )
     result = orders_db.sql(sql, analyze=True)
     data = json.loads(result.metrics.to_json())
-    assert data["schema_version"] == 2
+    assert data["schema_version"] == 3
     assert data["num_segments"] == SEGMENTS
     assert data["timing_collected"] is True
-    # Every v1 field survives in v2, plus the new resilience section.
+    # Every v1/v2 field survives in v3, plus the additive trace and
+    # optimizer sections (null unless the statement ran with trace=True).
     for key in (
         "nodes",
         "partition_selectors",
@@ -203,8 +204,12 @@ def test_metrics_json_round_trip(orders_db):
         "tables",
         "totals",
         "resilience",
+        "trace",
+        "optimizer",
     ):
         assert key in data
+    assert data["trace"] is None
+    assert data["optimizer"] is None
     # A fault-free run records no retries or failovers.
     assert data["resilience"]["retry_count"] == 0
     assert data["resilience"]["failover_count"] == 0
@@ -244,11 +249,18 @@ def test_explain_analyze_rendering(orders_db):
     assert "Slice 0 (root):" in text
 
 
-def test_tracker_aliases_still_work(orders_db):
+def test_tracker_alias_warns_but_still_works(orders_db):
+    import warnings
+
     result = orders_db.sql(
         "SELECT * FROM orders WHERE date = '05-15-2013'"
     )
-    assert result.tracker is result.metrics.tracker
-    assert result.tracker.partitions_scanned("orders") == 1
-    assert result.rows_scanned == result.metrics.total_rows_scanned
-    assert result.partitions_scanned("orders") == 1
+    with pytest.warns(DeprecationWarning, match="per-node"):
+        tracker = result.tracker
+    assert tracker is result.metrics.tracker
+    assert tracker.partitions_scanned("orders") == 1
+    # The metrics-based replacements carry no warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert result.rows_scanned == result.metrics.total_rows_scanned
+        assert result.partitions_scanned("orders") == 1

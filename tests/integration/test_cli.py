@@ -156,3 +156,35 @@ def test_explain_analyze_statement(session):
     assert session.handle_line("EXPLAIN ANALYZE SELECT nope;").startswith(
         "ERROR ("
     )
+
+
+def test_explain_trace_statement(session):
+    output = session.handle_line(
+        "EXPLAIN (TRACE) SELECT count(*) FROM orders_fk, date_dim "
+        "WHERE orders_fk.date_id = date_dim.date_id "
+        "AND date_dim.year = 2013;"
+    )
+    assert "Optimization trace:" in output
+    assert "Search summary:" in output
+    assert "PartitionSelector" in output
+    # the bare keyword spelling works too, and case is irrelevant
+    output = session.handle_line(
+        "explain trace SELECT count(*) FROM orders;"
+    )
+    assert "Search summary:" in output
+    # EXPLAIN (TRACE) plans without executing
+    assert "actual rows" not in output
+
+
+def test_stats_meta_command(session):
+    session.handle_line("SELECT count(*) FROM orders;")
+    session.handle_line("SELECT count(*) FROM orders;")
+    session.handle_line("SELECT count(*) FROM date_dim;")
+    output = session.handle_line("\\stats")
+    assert output.startswith("query statistics (")
+    assert "select count ( * ) from orders" in output
+    prom = session.handle_line("\\stats prometheus")
+    assert "# TYPE repro_query_calls_total counter" in prom
+    assert "usage: \\stats" in session.handle_line("\\stats bogus")
+    assert "reset" in session.handle_line("\\stats reset")
+    assert "empty" in session.handle_line("\\stats")

@@ -76,7 +76,7 @@ def test_plan_is_reusable_and_side_effect_free(db):
 def test_analyze_single_table(db):
     db.sql("INSERT INTO t VALUES (1, 'x')")
     db.analyze("t")
-    stats = db.stats.get(db.catalog.table("t"))
+    stats = db.statistics.get(db.catalog.table("t"))
     assert stats.row_count == 1
 
 

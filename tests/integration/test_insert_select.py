@@ -71,4 +71,4 @@ def test_insert_select_from_partitioned_table(db):
     )
     assert result.rows[0][0] > 0
     # the SELECT half used partition elimination
-    assert result.tracker.partitions_scanned("dst") == 1
+    assert result.partitions_scanned("dst") == 1

@@ -1,0 +1,109 @@
+"""Rendering: EXPLAIN ANALYZE annotation lines and EXPLAIN (TRACE) output."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import Tracer, activate
+from repro.obs import trace as obs_trace
+from repro.obs.render import render_explain_analyze, render_explain_trace
+
+
+def _analyzed(db, sql):
+    return db.sql(sql, analyze=True)
+
+
+def test_per_node_rows_and_time_formatting(orders_db):
+    result = _analyzed(
+        orders_db,
+        "SELECT count(*) FROM orders "
+        "WHERE date BETWEEN '10-01-2013' AND '12-31-2013'",
+    )
+    text = render_explain_analyze(result.metrics)
+    lines = text.splitlines()
+    node_lines = [line for line in lines if "actual rows=" in line]
+    assert len(node_lines) == len(result.metrics.nodes)
+    # with analyze=True every node line carries a millisecond timing
+    for line in node_lines:
+        assert re.search(r"time=\d+\.\d{2} ms", line), line
+    # scan nodes report elimination and raw reads
+    scan_line = next(line for line in lines if "DynamicScan" in line)
+    assert "partitions: 3/24" in scan_line
+    assert "rows scanned=" in scan_line
+    # the tree is indented by node depth
+    assert lines[0] == lines[0].lstrip()
+    assert any(line.startswith("  ") for line in node_lines[1:])
+    # trailer sections
+    assert any(line.startswith("PartitionSelector 1:") for line in lines)
+    assert any(line.startswith("Slice 0 (root):") for line in lines)
+    assert any(line.startswith("Total:") for line in lines)
+
+
+def test_timing_omitted_when_not_analyzed(orders_db):
+    result = orders_db.sql("SELECT count(*) FROM date_dim")
+    text = render_explain_analyze(result.metrics)
+    assert "actual rows=" in text
+    assert "time=" not in text
+
+
+def test_zero_row_nodes_render(orders_db):
+    result = _analyzed(orders_db, "SELECT * FROM orders WHERE amount < 0")
+    assert result.rows == []
+    text = render_explain_analyze(result.metrics)
+    lines = [line for line in text.splitlines() if "actual rows=" in line]
+    # the root produced nothing, while the scan below it still reports the
+    # rows it had to read
+    assert "actual rows=0" in lines[0]
+    assert any("rows scanned=2400" in line for line in lines)
+    # a Motion that routed no rows gets no "moved" annotation (the kind is
+    # only learned from the first routed row)
+    motion_line = next(line for line in lines if "GatherMotion" in line)
+    assert "actual rows=0" in motion_line
+    assert "moved" not in motion_line
+
+
+def test_resilience_line_absent_on_clean_runs(orders_db):
+    result = orders_db.sql("SELECT count(*) FROM date_dim")
+    assert "Resilience:" not in render_explain_analyze(result.metrics)
+
+
+def test_resilience_line_singular_and_plural(orders_db):
+    result = orders_db.sql("SELECT count(*) FROM date_dim")
+    metrics = result.metrics
+    metrics.record_retry(1, 1, 2, "scan_row")
+    text = render_explain_analyze(metrics)
+    assert "Resilience: 1 slice retry, 0 failovers" in text
+    metrics.record_retry(1, 2, 2, "scan_row")
+    metrics.record_failover(2, "scan_row")
+    text = render_explain_analyze(metrics)
+    assert "Resilience: 2 slice retries, 1 failover" in text
+    assert "(mirror serving segment 2)" in text
+    metrics.record_failover(3, "motion_send")
+    text = render_explain_analyze(metrics)
+    assert "2 failovers" in text
+    assert "(mirror serving segments 2, 3)" in text
+
+
+def test_render_explain_trace_sections():
+    tracer = Tracer()
+    with activate(tracer):
+        with obs_trace.span("optimize", optimizer="orca"):
+            with obs_trace.span("place_partition_selectors", specs=1):
+                pass
+    text = render_explain_trace("PLAN TEXT", tracer)
+    lines = text.splitlines()
+    assert lines[0] == "PLAN TEXT"
+    assert "Optimization trace:" in lines
+    optimize_line = next(line for line in lines if "optimize:" in line)
+    assert "optimizer=orca" in optimize_line
+    nested = next(line for line in lines if "place_partition_selectors" in line)
+    # nested span indented one level deeper than its parent
+    assert len(nested) - len(nested.lstrip()) > len(optimize_line) - len(
+        optimize_line.lstrip()
+    )
+    assert "Search summary:" in text
+
+
+def test_render_explain_trace_without_spans():
+    text = render_explain_trace("PLAN", Tracer())
+    assert "(no spans recorded)" in text

@@ -105,6 +105,6 @@ def test_analyze_collects_histograms():
     rng = random.Random(12)
     db.insert("t", [(rng.randrange(100), "x") for _ in range(200)])
     db.analyze()
-    stats = db.stats.get(db.catalog.table("t"))
+    stats = db.statistics.get(db.catalog.table("t"))
     assert stats.column("a").histogram is not None
     assert stats.column("b").histogram is not None  # strings order fine

@@ -34,7 +34,7 @@ def db() -> Database:
 
 
 def _memo_for(db, sql) -> Memo:
-    memo = Memo(db.stats)
+    memo = Memo(db.statistics)
     memo.copy_in(db.bind(sql))
     return memo
 

@@ -152,7 +152,7 @@ def test_memo_contains_commuted_join(orders_db):
         "SELECT count(*) FROM orders_fk o, date_dim d "
         "WHERE o.date_id = d.date_id"
     )
-    memo = Memo(orders_db.stats)
+    memo = Memo(orders_db.statistics)
     memo.copy_in(logical)
     explore(memo)
     implement(memo)

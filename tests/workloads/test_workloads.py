@@ -14,7 +14,7 @@ class TestTpch:
     def test_rows_route_into_partitions(self):
         db = tpch.build_lineitem_database(42, row_count=300, num_segments=2)
         table = db.catalog.table("lineitem")
-        stats = db.stats.get(table)
+        stats = db.statistics.get(table)
         assert stats.row_count == 300
         assert sum(stats.leaf_rows.values()) == 300
 
@@ -97,7 +97,7 @@ class TestSynthetic:
         for name in ("r", "s"):
             table = db.catalog.table(name)
             assert table.num_leaves == 5
-            assert db.stats.get(table).row_count == 100
+            assert db.statistics.get(table).row_count == 100
 
     def test_join_and_update_queries_run(self):
         db = synthetic.build_rs_database(num_parts=5, rows_per_table=100)
