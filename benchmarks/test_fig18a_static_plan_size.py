@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.workloads.tpch import build_lineitem_database, shipdate_for_fraction
 
-from ._helpers import emit, format_table
+from ._helpers import emit, emit_json, format_table
 
 PARTS = 84  # monthly scenario
 FRACTIONS = (0.01, 0.25, 0.50, 0.75, 1.00)
@@ -57,6 +57,14 @@ def _report():
             ],
             rows,
         ),
+    )
+    emit_json(
+        "fig18a_static_plan_size",
+        {
+            "fractions": list(FRACTIONS),
+            "planner_bytes": planner_sizes,
+            "orca_bytes": orca_sizes,
+        },
     )
 
     # Planner grows roughly linearly: 100% plan is many times the 1% plan.

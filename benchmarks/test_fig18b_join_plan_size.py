@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.workloads.synthetic import JOIN_QUERY, build_rs_database
 
-from ._helpers import emit, format_table
+from ._helpers import emit, emit_json, format_table
 
 PART_COUNTS = (50, 100, 150, 200, 250, 300)
 
@@ -51,6 +51,15 @@ def _report():
             ],
             rows,
         ),
+    )
+    emit_json(
+        "fig18b_join_plan_size",
+        {
+            "part_counts": list(PART_COUNTS),
+            "planner_bytes": planner_sizes,
+            "orca_bytes": orca_sizes,
+            "orca_dispatched_bytes": dispatched,
+        },
     )
 
     # Planner: linear growth (6x partitions -> ~6x plan).

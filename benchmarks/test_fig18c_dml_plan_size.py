@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.workloads.synthetic import UPDATE_QUERY, build_rs_database
 
-from ._helpers import emit, format_table
+from ._helpers import emit, emit_json, format_table
 
 PART_COUNTS = (10, 20, 30, 40, 50)
 
@@ -52,6 +52,14 @@ def _report():
             ],
             rows,
         ),
+    )
+    emit_json(
+        "fig18c_dml_plan_size",
+        {
+            "part_counts": list(PART_COUNTS),
+            "planner_bytes": planner_sizes,
+            "orca_bytes": orca_sizes,
+        },
     )
 
     # Quadratic: 5x partitions -> ~25x plan size for the Planner.

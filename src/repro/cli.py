@@ -51,6 +51,9 @@ SET statements configure the session:
   SET inject_fault off;                             disarm all faults
   SET timeout_seconds V;   SET timeout_seconds off; per-query timeout
   SET max_rows N;          SET max_rows off;        buffered-row budget
+  SET workers N;           SET workers off;         parallel segment
+                   execution on N worker threads (results identical to
+                   serial; off = serial)
 SQL statements additionally support the EXPLAIN, EXPLAIN ANALYZE and
 EXPLAIN (TRACE) prefixes (ANALYZE executes the query and annotates the
 plan with per-node actual rows, partitions scanned and Motion traffic;
@@ -80,6 +83,8 @@ class ReplSession:
         #: session guardrails applied to every query
         self.timeout_seconds: float | None = None
         self.max_rows: int | None = None
+        #: segment-scheduler pool size (None = the Database default, serial)
+        self.workers: int | None = None
         self._buffer: list[str] = []
 
     # -- line protocol -----------------------------------------------------
@@ -216,6 +221,7 @@ class ReplSession:
                         optimizer=self.optimizer,
                         timeout=self.timeout_seconds,
                         max_rows=self.max_rows,
+                        workers=self.workers,
                     )
                 if explain.group(2) or explain.group(3):
                     return self.db.explain_trace(body, optimizer=self.optimizer)
@@ -231,6 +237,7 @@ class ReplSession:
                 optimizer=self.optimizer,
                 timeout=self.timeout_seconds,
                 max_rows=self.max_rows,
+                workers=self.workers,
             )
         except ReproError as exc:
             return self._error(exc)
@@ -283,6 +290,18 @@ class ReplSession:
                 return f"ERROR (sql): invalid max_rows {argument!r}"
             self.max_rows = value
             return f"max_rows is {value}"
+        if name == "workers":
+            if argument.lower() in ("off", "none", "serial", ""):
+                self.workers = None
+                return "workers is off (serial execution)"
+            try:
+                value = int(argument)
+            except ValueError:
+                return f"ERROR (sql): invalid workers {argument!r}"
+            if value < 1:
+                return "ERROR (sql): workers must be >= 1"
+            self.workers = value
+            return f"workers is {value}"
         return f"ERROR (sql): unknown setting {name!r}"
 
     def _set_inject_fault(self, argument: str) -> str:

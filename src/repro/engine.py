@@ -60,10 +60,14 @@ class Database:
         self,
         num_segments: int = 4,
         cost_model: CostModel | None = None,
+        workers: int = 1,
     ):
         from .storage import StorageManager
 
         self.num_segments = num_segments
+        #: default segment-scheduler pool size (1 = serial execution);
+        #: per-query override via ``sql(..., workers=N)``
+        self.workers = workers
         self.catalog = Catalog()
         self.storage = StorageManager(self.catalog, num_segments)
         #: optimizer statistics (ANALYZE results) — renamed from ``stats``
@@ -85,6 +89,7 @@ class Database:
             num_segments,
             faults=self.faults,
             retry_policy=self.retry_policy,
+            workers=workers,
         )
 
     @property
@@ -233,9 +238,16 @@ class Database:
         cancel: CancelToken | None = None,
         trace: bool = False,
         lower_selectors: bool = False,
+        workers: int | None = None,
         **options,
     ) -> ExecutionResult:
         """Parse, plan and execute one statement.
+
+        ``workers`` sets the segment-scheduler pool size for this query
+        (``None`` uses the Database default, normally 1 = serial).  With
+        ``workers > 1`` each slice's per-segment instances run
+        concurrently on a thread pool; results are guaranteed identical
+        to a serial run (see docs/parallelism.md).
 
         ``analyze=True`` enables per-node wall-clock timing collection on
         top of the always-on row/partition/motion counters; the result's
@@ -272,6 +284,7 @@ class Database:
                     timeout_seconds=timeout, max_rows=max_rows, cancel=cancel
                 ),
                 lower_selectors,
+                workers,
                 **options,
             )
         if tracer is not None:
@@ -289,6 +302,7 @@ class Database:
         analyze: bool,
         limits: QueryLimits,
         lower_selectors: bool,
+        workers: int | None = None,
         **options,
     ) -> ExecutionResult:
         with obs_trace.span("parse"):
@@ -314,7 +328,11 @@ class Database:
                 plan = self._lower(plan, lower_selectors)
                 with obs_trace.span("execute"):
                     selected = self.executor.execute(
-                        plan, params, analyze=analyze, limits=limits
+                        plan,
+                        params,
+                        analyze=analyze,
+                        limits=limits,
+                        workers=workers,
                     )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
@@ -340,7 +358,7 @@ class Database:
         plan = self._lower(plan, lower_selectors)
         with obs_trace.span("execute"):
             return self.executor.execute(
-                plan, params, analyze=analyze, limits=limits
+                plan, params, analyze=analyze, limits=limits, workers=workers
             )
 
     def _lower(self, plan: Plan, lower_selectors: bool) -> Plan:
@@ -361,7 +379,8 @@ class Database:
         params: Sequence[Any] | None = None,
         analyze: bool = False,
         limits: QueryLimits | None = None,
+        workers: int | None = None,
     ) -> ExecutionResult:
         return self.executor.execute(
-            plan, params, analyze=analyze, limits=limits
+            plan, params, analyze=analyze, limits=limits, workers=workers
         )

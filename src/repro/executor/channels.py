@@ -20,13 +20,23 @@ The channel enforces the full producer/consumer protocol, raising
   that only need to *read* the set (Planner's guarded LeafScans share one
   channel across many scans) use the non-destructive :meth:`peek`.
 
-Slice retry after a segment failure discards the failed slice's channels
-(:meth:`ChannelRegistry.discard`) so the re-run rebuilds them from
-scratch — possible without cross-slice coordination precisely because of
-the Figure 12 co-location invariant.
+Under the parallel scheduler every (slice, segment) instance runs on its
+own worker thread; the Figure 12 co-location invariant keeps each
+channel's producer and consumer on one thread, but the registry is shared
+by all workers and each channel guards its state transitions with a lock
+so protocol violations surface as :class:`ChannelError` rather than torn
+state, whichever thread commits them.
+
+Instance retry after a segment failure discards the **failed segment's**
+channels only (:meth:`ChannelRegistry.discard` with ``segment=``) so the
+re-run rebuilds them while healthy segments' in-flight channels stay
+untouched — discarding every segment's channel here would corrupt a
+parallel failover.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..errors import ChannelError
 
@@ -34,7 +44,14 @@ from ..errors import ChannelError
 class OidChannel:
     """One (part_scan_id, segment) channel."""
 
-    __slots__ = ("part_scan_id", "segment", "_oids", "_closed", "_consumed")
+    __slots__ = (
+        "part_scan_id",
+        "segment",
+        "_oids",
+        "_closed",
+        "_consumed",
+        "_lock",
+    )
 
     def __init__(self, part_scan_id: int, segment: int):
         self.part_scan_id = part_scan_id
@@ -42,6 +59,7 @@ class OidChannel:
         self._oids: set[int] = set()
         self._closed = False
         self._consumed = False
+        self._lock = threading.Lock()
 
     @property
     def closed(self) -> bool:
@@ -53,12 +71,13 @@ class OidChannel:
 
     def push(self, oid: int) -> None:
         """partition_propagation: add one partition OID."""
-        if self._closed:
-            raise ChannelError(
-                f"push to closed channel (scan {self.part_scan_id}, "
-                f"segment {self.segment})"
-            )
-        self._oids.add(oid)
+        with self._lock:
+            if self._closed:
+                raise ChannelError(
+                    f"push to closed channel (scan {self.part_scan_id}, "
+                    f"segment {self.segment})"
+                )
+            self._oids.add(oid)
 
     def push_all(self, oids) -> None:
         for oid in oids:
@@ -67,12 +86,13 @@ class OidChannel:
     def close(self) -> None:
         """Seal the channel.  Closing twice raises: it means two producers
         both believe they own the channel's lifecycle."""
-        if self._closed:
-            raise ChannelError(
-                f"double close of channel (scan {self.part_scan_id}, "
-                f"segment {self.segment})"
-            )
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                raise ChannelError(
+                    f"double close of channel (scan {self.part_scan_id}, "
+                    f"segment {self.segment})"
+                )
+            self._closed = True
 
     def consume(self) -> list[int]:
         """OIDs for the DynamicScan, in deterministic order — exactly once.
@@ -81,29 +101,32 @@ class OidChannel:
         (the execution-order invariant the plan validator guarantees) and
         when the channel was already consumed.
         """
-        if not self._closed:
-            raise ChannelError(
-                f"DynamicScan {self.part_scan_id} on segment {self.segment} "
-                f"consumed before its PartitionSelector finished"
-            )
-        if self._consumed:
-            raise ChannelError(
-                f"channel (scan {self.part_scan_id}, segment {self.segment}) "
-                f"consumed twice"
-            )
-        self._consumed = True
-        return sorted(self._oids)
+        with self._lock:
+            if not self._closed:
+                raise ChannelError(
+                    f"DynamicScan {self.part_scan_id} on segment "
+                    f"{self.segment} consumed before its PartitionSelector "
+                    f"finished"
+                )
+            if self._consumed:
+                raise ChannelError(
+                    f"channel (scan {self.part_scan_id}, segment "
+                    f"{self.segment}) consumed twice"
+                )
+            self._consumed = True
+            return sorted(self._oids)
 
     def peek(self) -> list[int]:
         """Non-destructive read for guard consumers (several LeafScans may
         share one guard channel).  Still requires the producer to have
         closed the channel first."""
-        if not self._closed:
-            raise ChannelError(
-                f"guard on channel (scan {self.part_scan_id}, segment "
-                f"{self.segment}) read before its producer finished"
-            )
-        return sorted(self._oids)
+        with self._lock:
+            if not self._closed:
+                raise ChannelError(
+                    f"guard on channel (scan {self.part_scan_id}, segment "
+                    f"{self.segment}) read before its producer finished"
+                )
+            return sorted(self._oids)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
@@ -116,27 +139,43 @@ class OidChannel:
 
 
 class ChannelRegistry:
-    """All channels of one query execution."""
+    """All channels of one query execution (shared across worker threads)."""
 
     def __init__(self) -> None:
         self._channels: dict[tuple[int, int], OidChannel] = {}
+        self._lock = threading.Lock()
 
     def channel(self, part_scan_id: int, segment: int) -> OidChannel:
         key = (part_scan_id, segment)
         found = self._channels.get(key)
         if found is None:
-            found = OidChannel(part_scan_id, segment)
-            self._channels[key] = found
+            with self._lock:
+                found = self._channels.get(key)
+                if found is None:
+                    found = OidChannel(part_scan_id, segment)
+                    self._channels[key] = found
         return found
 
     def channels(self) -> list[OidChannel]:
-        return list(self._channels.values())
+        with self._lock:
+            return list(self._channels.values())
 
-    def discard(self, part_scan_ids) -> int:
-        """Drop every segment's channel for the given scan ids (slice
-        retry: the re-run rebuilds them).  Returns channels removed."""
+    def discard(self, part_scan_ids, segment: int | None = None) -> int:
+        """Drop channels for the given scan ids so a retry rebuilds them.
+
+        ``segment`` scopes the discard to one failed segment's instance —
+        the parallel failover path, where other segments' channels are
+        healthy and possibly mid-consumption.  ``segment=None`` drops every
+        segment's channel (whole-slice reset).  Returns channels removed.
+        """
         ids = set(part_scan_ids)
-        victims = [key for key in self._channels if key[0] in ids]
-        for key in victims:
-            del self._channels[key]
-        return len(victims)
+        with self._lock:
+            victims = [
+                key
+                for key in self._channels
+                if key[0] in ids
+                and (segment is None or key[1] == segment)
+            ]
+            for key in victims:
+                del self._channels[key]
+            return len(victims)

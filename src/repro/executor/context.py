@@ -6,14 +6,21 @@ The MPP simulator's conventions:
   coordinator** — GatherMotion routes all rows there, and
   coordinator-only operators (scalar aggregation over a gathered stream,
   Update's count row) emit on segment 0 only.
-* Motion outputs are materialized into per-segment buffers before the
-  consuming slice runs (slice-at-a-time execution).
+* Motion outputs are materialized into per-segment
+  :class:`~repro.executor.queues.TupleQueue` buffers before the consuming
+  slice runs (slice-at-a-time execution) — under the parallel scheduler
+  producers on different worker threads push into them concurrently, and
+  the queues merge rows in producer-segment order so the drained sequence
+  matches a serial run exactly.
 * Partition-OID channels are per (part scan id, segment).
 * The context records which leaf partitions every scan touched — the
   measurement behind the paper's Figure 16 and Table 3.
 * The context carries the run's :class:`~repro.resilience.FaultInjector`
   and :class:`~repro.resilience.QueryLimits`; iterators consult both on
   their hot paths (guarded by cheap ``active`` flags).
+* ``workers`` is the segment-scheduler pool size (1 = serial).  Worker
+  threads see the context through :meth:`worker_view`, which swaps in a
+  per-worker metrics facade and leaves everything else shared.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from ..resilience.faults import FaultInjector
 from ..resilience.guardrails import QueryLimits
 from ..storage import StorageManager
 from .channels import ChannelRegistry, OidChannel
+from .queues import MotionBuffer
 
 __all__ = [
     "COORDINATOR_SEGMENT",
@@ -48,19 +56,27 @@ class ExecContext:
         metrics: MetricsCollector | None = None,
         faults: FaultInjector | None = None,
         limits: QueryLimits | None = None,
+        workers: int = 1,
+        motion_queue_capacity: int | None = None,
     ):
         self.catalog = catalog
         self.storage = storage
         self.num_segments = num_segments
         self.params = list(params) if params is not None else []
         self.channels = ChannelRegistry()
-        #: id(motion op) -> list per segment of buffered rows
-        self.motion_buffers: dict[int, list[list[tuple]]] = {}
+        #: id(motion op) -> per-segment receive queues for that Motion
+        self.motion_buffers: dict[int, MotionBuffer] = {}
         self.metrics = (
             metrics if metrics is not None else MetricsCollector(num_segments)
         )
         self.faults = faults if faults is not None else FaultInjector()
         self.limits = limits if limits is not None else QueryLimits()
+        #: segment-scheduler pool size for this run (1 = serial)
+        self.workers = workers
+        #: per-target TupleQueue capacity (None = unbounded; the engine's
+        #: slice-at-a-time schedule attaches no streaming consumer, so a
+        #: bound that fills raises rather than blocks — see queues.py)
+        self.motion_queue_capacity = motion_queue_capacity
 
     @property
     def tracker(self) -> ScanTracker:
@@ -79,18 +95,73 @@ class ExecContext:
     def channel(self, part_scan_id: int, segment: int) -> OidChannel:
         return self.channels.channel(part_scan_id, segment)
 
-    def motion_buffer(self, motion_id: int) -> list[list[tuple]]:
+    def motion_buffer(self, motion_id: int) -> MotionBuffer:
         buffer = self.motion_buffers.get(motion_id)
         if buffer is None:
-            buffer = [[] for _ in range(self.num_segments)]
+            buffer = MotionBuffer(
+                self.num_segments, self.motion_queue_capacity
+            )
             self.motion_buffers[motion_id] = buffer
         return buffer
 
+    def motion_rows(self, motion_id: int, segment: int) -> list[tuple]:
+        """The merged, deterministic row sequence one Motion delivered to
+        ``segment`` (requires the producing slice to have closed the
+        buffer — the ChannelError contract)."""
+        return self.motion_buffer(motion_id).rows(segment)
+
+    def worker_view(self, segment: int) -> "ExecContext":
+        """The context one (slice, segment) instance executes against.
+
+        Serial mode returns the context itself; parallel mode returns a
+        facade whose ``metrics`` is a per-worker
+        :class:`~repro.obs.metrics.WorkerMetrics` accumulator (merged by
+        the executor when the instance ends) and everything else is the
+        shared state."""
+        if self.workers <= 1:
+            return self
+        return _WorkerView(self, segment)
+
     def reset_slice(self, part_scan_ids, motion_id: int | None = None) -> None:
-        """Discard one slice's local state before a retry: its partition-OID
-        channels (rebuilt locally on the re-run — the Figure 12 invariant
-        keeps producer and consumer in the same slice) and, for a motion
-        slice, the partially-filled send buffer."""
+        """Discard one slice's local state before a whole-slice retry: its
+        partition-OID channels (rebuilt locally on the re-run — the
+        Figure 12 invariant keeps producer and consumer in the same slice)
+        and, for a motion slice, the partially-filled send buffer."""
         self.channels.discard(part_scan_ids)
         if motion_id is not None:
             self.motion_buffers.pop(motion_id, None)
+
+    def reset_instance(
+        self,
+        part_scan_ids,
+        segment: int,
+        motion_id: int | None = None,
+    ) -> None:
+        """Discard one failed (slice, segment) instance's state before its
+        retry, leaving every other segment's work intact: only the failed
+        segment's partition-OID channels (the Figure 12 invariant makes
+        them instance-local) and only that producer's rows in the Motion's
+        send queues."""
+        self.channels.discard(part_scan_ids, segment=segment)
+        if motion_id is not None:
+            buffer = self.motion_buffers.get(motion_id)
+            if buffer is not None:
+                buffer.discard_producer(segment)
+
+
+class _WorkerView:
+    """One worker thread's view of the shared :class:`ExecContext`.
+
+    Everything delegates to the base context except ``metrics``, which is
+    a per-worker accumulator so contended counters never take a lock on
+    the per-row path."""
+
+    __slots__ = ("_base", "segment", "metrics")
+
+    def __init__(self, base: ExecContext, segment: int):
+        self._base = base
+        self.segment = segment
+        self.metrics = base.metrics.worker(segment)
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)

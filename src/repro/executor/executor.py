@@ -1,8 +1,9 @@
-"""Slice-at-a-time MPP execution with fault tolerance.
+"""Slice-at-a-time MPP execution with per-segment parallelism and fault
+tolerance.
 
 A plan is cut at Motion boundaries.  Motions are executed deepest-first:
 the child subtree runs once per segment and its output is routed into
-per-segment receive buffers —
+per-segment receive queues —
 
 * **Gather** → everything to the coordinator (segment 0);
 * **Broadcast** → a copy to every segment;
@@ -15,16 +16,29 @@ the paper's Figure 12 rule), every OID channel is filled and closed within
 one (slice, segment) instance before its consumer opens — the shared-memory
 contract of Section 2.2.
 
-**Failure handling** rides on the same invariant: when a segment instance
-dies (a :class:`~repro.errors.SegmentFailure`, real or injected), the
-whole *slice* is retried.  The slice's partition-OID channels and its
-motion send buffer are discarded and rebuilt locally on the re-run — no
-cross-slice coordination is needed, because no channel ever crosses a
-Motion.  Transient failures retry in place with exponential backoff;
+**Parallelism** follows the same cut: each slice's per-segment instances
+share nothing but the Motion queues and their own segment's channels, so
+the :class:`~repro.executor.scheduler.SegmentScheduler` runs them
+concurrently on a worker pool (``workers > 1``) while slices stay
+sequential — producers always close their Motion queues before consumers
+drain them.  Results are deterministic regardless of thread interleaving:
+instances are collected in segment order, and
+:class:`~repro.executor.queues.TupleQueue` merges Motion rows in
+producer-segment order, so parallel output is byte-identical to serial.
+The default is ``workers=1``, which bypasses the pool entirely.
+
+**Failure handling** rides on the Figure 12 invariant: when a segment
+instance dies (a :class:`~repro.errors.SegmentFailure`, real or injected),
+only that *instance* is retried.  The failed segment's partition-OID
+channels and its producer run in the Motion send queues are discarded and
+rebuilt locally on the re-run — no cross-segment coordination is needed,
+because no channel ever crosses a Motion and every queue keeps per-producer
+runs.  Transient failures retry in place with exponential backoff;
 persistent ones first fail the segment over to its mirror
 (:class:`~repro.resilience.SegmentHealth`), after which storage reads for
 that segment are served from the mirror copy and the retry produces
-results identical to a fault-free run.
+results identical to a fault-free run.  Healthy segments' instances are
+never re-run.
 """
 
 from __future__ import annotations
@@ -47,6 +61,8 @@ from ..storage import StorageManager
 from ..storage.distribution import segment_for, stable_hash
 from .context import COORDINATOR_SEGMENT, ExecContext
 from .iterators import build_iterator
+from .queues import MotionBuffer
+from .scheduler import SegmentScheduler
 
 
 class ExecutionResult:
@@ -118,6 +134,7 @@ class MppExecutor:
         num_segments: int,
         faults: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
+        workers: int = 1,
     ):
         self.catalog = catalog
         self.storage = storage
@@ -126,6 +143,9 @@ class MppExecutor:
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
+        #: default segment-scheduler pool size (1 = serial); per-query
+        #: override via ``execute(..., workers=N)``
+        self.workers = workers
 
     def execute(
         self,
@@ -133,14 +153,20 @@ class MppExecutor:
         params: Sequence[Any] | None = None,
         analyze: bool = False,
         limits: QueryLimits | None = None,
+        workers: int | None = None,
     ) -> ExecutionResult:
         """Run the plan; ``analyze=True`` additionally collects per-node
         wall-clock timings (row and partition counters are always on).
         ``limits`` attaches the per-query guardrails (timeout, buffered-row
-        budget, cancellation)."""
+        budget, cancellation).  ``workers`` overrides the executor's
+        default pool size for this query (1 = serial)."""
         plan.validate()
+        resolved_workers = self.workers if workers is None else workers
+        if resolved_workers < 1:
+            raise ValueError("workers must be >= 1")
         metrics = MetricsCollector(self.num_segments, timing=analyze)
         metrics.register_plan(plan)
+        metrics.record_workers(resolved_workers)
         limits = limits if limits is not None else QueryLimits()
         limits.start()
         started = time.perf_counter()
@@ -152,40 +178,43 @@ class MppExecutor:
             metrics,
             faults=self.faults,
             limits=limits,
+            workers=resolved_workers,
         )
-        # Slice k (k >= 1) is the subtree below the k-th Motion in
-        # post-order; slice 0 is the root slice.
-        for slice_id, motion in enumerate(
-            _motions_deepest_first(plan.root), start=1
-        ):
-            limits.check()
-            slice_started = time.perf_counter()
-            slice_scan_ids = _slice_part_scan_ids(motion.children[0])
-            with obs_trace.span(f"slice:{slice_id}", motion=motion.name):
-                self._run_slice_with_retry(
-                    ctx,
+        with SegmentScheduler(resolved_workers) as scheduler:
+            # Slice k (k >= 1) is the subtree below the k-th Motion in
+            # post-order; slice 0 is the root slice.
+            for slice_id, motion in enumerate(
+                _motions_deepest_first(plan.root), start=1
+            ):
+                limits.check()
+                slice_started = time.perf_counter()
+                slice_scan_ids = _slice_part_scan_ids(motion.children[0])
+                with obs_trace.span(
+                    f"slice:{slice_id}", motion=motion.name
+                ) as slice_span:
+                    self._run_motion_slice(
+                        motion,
+                        ctx,
+                        scheduler,
+                        slice_id,
+                        slice_scan_ids,
+                        slice_span,
+                    )
+                metrics.record_slice(
                     slice_id,
-                    run=lambda motion=motion: self._run_motion(motion, ctx),
-                    reset=lambda motion=motion, ids=slice_scan_ids: (
-                        ctx.reset_slice(ids, motion_id=id(motion))
-                    ),
+                    f"below {motion.name}",
+                    time.perf_counter() - slice_started,
+                )
+            limits.check()
+            root_started = time.perf_counter()
+            root_scan_ids = _slice_part_scan_ids(plan.root)
+            with obs_trace.span("slice:0", motion="root") as slice_span:
+                rows = self._run_root_slice(
+                    plan.root, ctx, scheduler, root_scan_ids, slice_span
                 )
             metrics.record_slice(
-                slice_id,
-                f"below {motion.name}",
-                time.perf_counter() - slice_started,
+                0, "root", time.perf_counter() - root_started
             )
-        limits.check()
-        root_started = time.perf_counter()
-        root_scan_ids = _slice_part_scan_ids(plan.root)
-        with obs_trace.span("slice:0", motion="root"):
-            rows: list[tuple] = self._run_slice_with_retry(
-                ctx,
-                0,
-                run=lambda: self._run_root(plan.root, ctx),
-                reset=lambda: ctx.reset_slice(root_scan_ids),
-            )
-        metrics.record_slice(0, "root", time.perf_counter() - root_started)
         limits.check()
         elapsed = time.perf_counter() - started
         metrics.record_fault_points(ctx.faults.snapshot())
@@ -196,46 +225,133 @@ class MppExecutor:
 
     # -- slices ---------------------------------------------------------------
 
-    def _run_root(self, root: phys.PhysicalOp, ctx: ExecContext) -> list[tuple]:
-        faults = ctx.faults if ctx.faults.active else None
-        rows: list[tuple] = []
-        for segment in range(self.num_segments):
-            if faults is not None:
-                faults.maybe_fire(SLICE_START, segment)
-            rows.extend(build_iterator(root, segment, ctx))
-        return rows
+    def _run_root_slice(
+        self,
+        root: phys.PhysicalOp,
+        ctx: ExecContext,
+        scheduler: SegmentScheduler,
+        scan_ids: set[int],
+        slice_span,
+    ) -> list[tuple]:
+        """Run the root slice's per-segment instances and concatenate
+        their rows in segment order (the Gather contract)."""
 
-    def _run_slice_with_retry(
+        def instance(segment: int) -> Callable[[], list[tuple]]:
+            def work(view: ExecContext) -> list[tuple]:
+                faults = view.faults if view.faults.active else None
+                if faults is not None:
+                    faults.maybe_fire(SLICE_START, segment)
+                return list(build_iterator(root, segment, view))
+
+            return lambda: self._run_instance_with_retry(
+                ctx, scheduler, 0, segment, scan_ids, None, slice_span, work
+            )
+
+        per_segment = scheduler.run_slice(
+            [instance(segment) for segment in range(self.num_segments)]
+        )
+        return [row for seg_rows in per_segment for row in seg_rows]
+
+    def _run_motion_slice(
+        self,
+        motion: phys.Motion,
+        ctx: ExecContext,
+        scheduler: SegmentScheduler,
+        slice_id: int,
+        scan_ids: set[int],
+        slice_span,
+    ) -> None:
+        """Run one motion slice's per-segment producer instances, then
+        seal the receive queues so the consuming slice may drain them."""
+        buffer = ctx.motion_buffer(id(motion))
+        hash_fns = None
+        if isinstance(motion, phys.RedistributeMotion):
+            layout = motion.children[0].output_layout()
+            hash_fns = [
+                compile_expression(expr, layout, ctx.params)
+                for expr in motion.hash_exprs
+            ]
+
+        def instance(segment: int) -> Callable[[], None]:
+            def work(view: ExecContext) -> None:
+                self._send_segment(motion, view, segment, buffer, hash_fns)
+
+            return lambda: self._run_instance_with_retry(
+                ctx,
+                scheduler,
+                slice_id,
+                segment,
+                scan_ids,
+                id(motion),
+                slice_span,
+                work,
+            )
+
+        scheduler.run_slice(
+            [instance(segment) for segment in range(self.num_segments)]
+        )
+        buffer.close()
+
+    def _run_instance_with_retry(
         self,
         ctx: ExecContext,
+        scheduler: SegmentScheduler,
         slice_id: int,
-        run: Callable[[], Any],
-        reset: Callable[[], Any],
+        segment: int,
+        scan_ids: set[int],
+        motion_id: int | None,
+        slice_span,
+        work: Callable[[ExecContext], Any],
     ) -> Any:
-        """Run one slice, retrying on :class:`SegmentFailure`.
+        """Run one (slice, segment) instance, retrying it — and only it —
+        on :class:`SegmentFailure`.
 
         A transient failure retries in place after exponential backoff; a
-        persistent one fails the segment over to its mirror first.  The
-        slice's local state (OID channels, motion send buffer) is discarded
-        before each retry, so the re-run rebuilds it from scratch — the
-        Figure 12 co-location invariant makes this purely slice-local.
-        """
+        persistent one fails the segment over to its mirror first.  Before
+        each retry exactly the failed instance's state is discarded: its
+        segment's OID channels (instance-local by the Figure 12 invariant)
+        and its producer run in the Motion send queues.  Other segments'
+        instances — possibly still running on sibling workers — are
+        untouched.  Per-worker metric accumulators merge on success *and*
+        failure so counters stay cumulative across attempts."""
         policy = self.retry_policy
         attempt = 0
-        while True:
-            try:
-                return run()
-            except SegmentFailure as failure:
-                attempt += 1
-                if attempt > policy.max_retries:
-                    raise
-                if not self._recover(failure, ctx):
-                    raise
-                ctx.metrics.record_retry(
-                    slice_id, attempt, failure.segment, failure.point
+        started = time.perf_counter()
+        try:
+            while True:
+                view = ctx.worker_view(segment)
+                span = (
+                    obs_trace.worker_span(
+                        slice_span, f"segment:{segment}", slice=slice_id
+                    )
+                    if scheduler.parallel
+                    else obs_trace._NULL_SPAN
                 )
-                reset()
-                policy.backoff(attempt)
+                try:
+                    with span:
+                        result = work(view)
+                    if view is not ctx:
+                        view.metrics.merge()
+                    return result
+                except SegmentFailure as failure:
+                    if view is not ctx:
+                        view.metrics.merge()
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        raise
+                    if not self._recover(failure, ctx):
+                        raise
+                    ctx.metrics.record_retry(
+                        slice_id, attempt, failure.segment, failure.point
+                    )
+                    ctx.reset_instance(
+                        scan_ids, segment, motion_id=motion_id
+                    )
+                    policy.backoff(attempt)
+        finally:
+            ctx.metrics.record_instance(
+                slice_id, segment, time.perf_counter() - started
+            )
 
     def _recover(self, failure: SegmentFailure, ctx: ExecContext) -> bool:
         """Attempt recovery from one segment failure.
@@ -254,48 +370,66 @@ class MppExecutor:
 
     # -- motions ------------------------------------------------------------
 
-    def _run_motion(self, motion: phys.Motion, ctx: ExecContext) -> None:
-        buffer = ctx.motion_buffer(id(motion))
+    def _send_segment(
+        self,
+        motion: phys.Motion,
+        view: ExecContext,
+        segment: int,
+        buffer: MotionBuffer,
+        hash_fns,
+    ) -> None:
+        """One producer instance: run the motion's child subtree on
+        ``segment`` and route every row into the receive queues, tagged
+        with this segment as the producer (the deterministic-merge key)."""
         child = motion.children[0]
-        record = ctx.metrics.record_motion
-        faults = ctx.faults if ctx.faults.active else None
-        charge = ctx.limits.charge_rows if ctx.limits.active else None
+        record = view.metrics.record_motion
+        faults = view.faults if view.faults.active else None
+        charge = view.limits.charge_rows if view.limits.active else None
+        if faults is not None:
+            faults.maybe_fire(SLICE_START, segment)
+        for row in build_iterator(child, segment, view):
+            if faults is not None:
+                faults.maybe_fire(MOTION_SEND, segment)
+            if isinstance(motion, phys.GatherMotion):
+                buffer.send(COORDINATOR_SEGMENT, row, segment)
+                record(motion, "gather", COORDINATOR_SEGMENT, row)
+                if charge is not None:
+                    charge(1)
+            elif isinstance(motion, phys.BroadcastMotion):
+                for target in range(self.num_segments):
+                    buffer.send(target, row, segment)
+                    record(motion, "broadcast", target, row)
+                if charge is not None:
+                    charge(self.num_segments)
+            else:
+                values = tuple(fn(row) for fn in hash_fns)
+                if len(values) == 1:
+                    target = segment_for(values[0], self.num_segments)
+                else:
+                    target = (
+                        sum(stable_hash(v) for v in values)
+                        % self.num_segments
+                    )
+                buffer.send(target, row, segment)
+                record(motion, "redistribute", target, row)
+                if charge is not None:
+                    charge(1)
+
+    def _run_motion(self, motion: phys.Motion, ctx: ExecContext) -> None:
+        """Serial compat path: run every producer instance inline and seal
+        the buffer (used by benchmarks that drive a single Motion by
+        hand)."""
+        buffer = ctx.motion_buffer(id(motion))
+        hash_fns = None
         if isinstance(motion, phys.RedistributeMotion):
-            layout = child.output_layout()
+            layout = motion.children[0].output_layout()
             hash_fns = [
                 compile_expression(expr, layout, ctx.params)
                 for expr in motion.hash_exprs
             ]
         for segment in range(self.num_segments):
-            if faults is not None:
-                faults.maybe_fire(SLICE_START, segment)
-            for row in build_iterator(child, segment, ctx):
-                if faults is not None:
-                    faults.maybe_fire(MOTION_SEND, segment)
-                if isinstance(motion, phys.GatherMotion):
-                    buffer[COORDINATOR_SEGMENT].append(row)
-                    record(motion, "gather", COORDINATOR_SEGMENT, row)
-                    if charge is not None:
-                        charge(1)
-                elif isinstance(motion, phys.BroadcastMotion):
-                    for target in range(self.num_segments):
-                        buffer[target].append(row)
-                        record(motion, "broadcast", target, row)
-                    if charge is not None:
-                        charge(self.num_segments)
-                else:
-                    values = tuple(fn(row) for fn in hash_fns)
-                    if len(values) == 1:
-                        target = segment_for(values[0], self.num_segments)
-                    else:
-                        target = (
-                            sum(stable_hash(v) for v in values)
-                            % self.num_segments
-                        )
-                    buffer[target].append(row)
-                    record(motion, "redistribute", target, row)
-                    if charge is not None:
-                        charge(1)
+            self._send_segment(motion, ctx, segment, buffer, hash_fns)
+        buffer.close()
 
 
 def _motions_deepest_first(root: phys.PhysicalOp) -> list[phys.Motion]:
@@ -318,7 +452,8 @@ def _slice_part_scan_ids(root: phys.PhysicalOp) -> set[int]:
     Walks the subtree without descending through Motions (their subtrees
     are other slices, already complete).  Because no Motion separates a
     PartitionSelector from its DynamicScan, these ids are exactly the
-    channels a slice retry must discard and rebuild.
+    channels an instance retry must discard and rebuild (scoped to the
+    failed segment).
     """
     from .lowering import PropagatingProject
 

@@ -77,7 +77,7 @@ def _raw_iterator(
     if factory is not None:
         return factory(op, segment, ctx)
     if isinstance(op, phys.Motion):
-        return iter(ctx.motion_buffer(id(op))[segment])
+        return iter(ctx.motion_rows(id(op), segment))
     if isinstance(op, phys.Scan):
         return _scan_iter(op, segment, ctx)
     if isinstance(op, phys.EmptyScan):

@@ -21,6 +21,7 @@ CLI, the benchmarks and the tests; its schema is documented in
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Iterator
 
@@ -32,7 +33,10 @@ from typing import Any, Iterator
 #: ran with tracing — see docs/observability.md); scan nodes and table
 #: entries gain sorted "partition_oids" lists; table keys are sorted so
 #: the export is byte-stable across runs.
-METRICS_SCHEMA_VERSION = 3
+#: v4: additive "parallel" section (worker count, mode, per-(slice,
+#: segment) instance wall times and the overlap ratio across them — see
+#: docs/parallelism.md); every v3 field is unchanged.
+METRICS_SCHEMA_VERSION = 4
 
 
 class ScanTracker:
@@ -206,6 +210,16 @@ class MetricsCollector:
         self.tracker = ScanTracker()
         self.nodes: list[NodeMetrics] = []
         self.elapsed_seconds = 0.0
+        #: guards shared-structure mutation from worker threads (node and
+        #: selector creation, retry/failover/instance logs, worker merges);
+        #: per-(node, segment) counter slots are touched by exactly one
+        #: (slice, segment) instance at a time and stay lock-free
+        self._lock = threading.RLock()
+        # parallel execution (schema v4)
+        #: worker-pool size the query ran with (1 = serial)
+        self.workers = 1
+        #: one entry per (slice, segment) instance: wall seconds on its worker
+        self.instances: list[dict] = []
         #: part_scan_id -> {"mode", "total", "selected" per-segment sets}
         self.selectors: dict[int, dict] = {}
         #: slice_id -> {"label", "seconds"}
@@ -262,14 +276,19 @@ class MetricsCollector:
         were not part of the registered tree, e.g. hand-built subtrees)."""
         found = self._by_op.get(id(op))
         if found is None:
-            found = NodeMetrics(
-                len(self.nodes),
-                getattr(op, "name", type(op).__name__),
-                self.num_segments,
-                detail=op.describe() if hasattr(op, "describe") else "",
-            )
-            self.nodes.append(found)
-            self._by_op[id(op)] = found
+            with self._lock:
+                found = self._by_op.get(id(op))
+                if found is None:
+                    found = NodeMetrics(
+                        len(self.nodes),
+                        getattr(op, "name", type(op).__name__),
+                        self.num_segments,
+                        detail=(
+                            op.describe() if hasattr(op, "describe") else ""
+                        ),
+                    )
+                    self.nodes.append(found)
+                    self._by_op[id(op)] = found
         return found
 
     # -- generic per-node instrumentation -----------------------------------
@@ -324,13 +343,18 @@ class MetricsCollector:
     def _selector(self, part_scan_id: int) -> dict:
         entry = self.selectors.get(part_scan_id)
         if entry is None:
-            entry = {
-                "mode": None,
-                "total": None,
-                "selected": [set() for _ in range(self.num_segments)],
-                "pushed": 0,
-            }
-            self.selectors[part_scan_id] = entry
+            with self._lock:
+                entry = self.selectors.get(part_scan_id)
+                if entry is None:
+                    entry = {
+                        "mode": None,
+                        "total": None,
+                        "selected": [
+                            set() for _ in range(self.num_segments)
+                        ],
+                        "pushed": 0,
+                    }
+                    self.selectors[part_scan_id] = entry
         return entry
 
     def selector_summary(self, part_scan_id: int) -> dict | None:
@@ -360,12 +384,60 @@ class MetricsCollector:
     # -- slices -------------------------------------------------------------
 
     def record_slice(self, slice_id: int, label: str, seconds: float) -> None:
-        self.slices.append(
-            {"id": slice_id, "label": label, "seconds": seconds}
-        )
+        with self._lock:
+            self.slices.append(
+                {"id": slice_id, "label": label, "seconds": seconds}
+            )
 
     def finish(self, elapsed_seconds: float) -> None:
         self.elapsed_seconds = elapsed_seconds
+
+    # -- parallel execution (schema v4) ---------------------------------------
+
+    def record_workers(self, workers: int) -> None:
+        """The worker-pool size the query ran with (1 = serial)."""
+        self.workers = workers
+
+    def record_instance(
+        self, slice_id: int, segment: int, seconds: float
+    ) -> None:
+        """Wall time of one (slice, segment) instance on its worker."""
+        with self._lock:
+            self.instances.append(
+                {"slice_id": slice_id, "segment": segment, "seconds": seconds}
+            )
+
+    def worker(self, segment: int) -> "WorkerMetrics":
+        """A per-worker recording view for one (slice, segment) instance.
+
+        Contended counters accumulate locally in the view and fold back in
+        one :meth:`WorkerMetrics.merge` call under the collector lock, so
+        the per-row recording path never takes a lock."""
+        return WorkerMetrics(self, segment)
+
+    def parallel_stats(self) -> dict:
+        """The schema-v4 "parallel" section: worker count, per-instance
+        wall times, and how much segment work overlapped.
+
+        ``overlap`` is Σ instance wall seconds / query elapsed seconds —
+        1.0 means no concurrency benefit, values approaching the worker
+        count mean the instances genuinely ran side by side.  Reported
+        only for parallel runs with a measured elapsed time."""
+        instances = sorted(
+            self.instances,
+            key=lambda e: (e["slice_id"], e["segment"]),
+        )
+        busy = sum(entry["seconds"] for entry in instances)
+        overlap = None
+        if self.workers > 1 and self.elapsed_seconds > 0:
+            overlap = busy / self.elapsed_seconds
+        return {
+            "workers": self.workers,
+            "mode": "parallel" if self.workers > 1 else "serial",
+            "instances": instances,
+            "instance_busy_seconds": busy,
+            "overlap": overlap,
+        }
 
     # -- resilience (schema v2) ----------------------------------------------
 
@@ -382,18 +454,20 @@ class MetricsCollector:
         ``rows_out``/``loops`` over-count when retries occurred; the retry
         log here is what lets a reader normalise.
         """
-        self.retries.append(
-            {
-                "slice_id": slice_id,
-                "attempt": attempt,
-                "segment": segment,
-                "point": point,
-            }
-        )
+        with self._lock:
+            self.retries.append(
+                {
+                    "slice_id": slice_id,
+                    "attempt": attempt,
+                    "segment": segment,
+                    "point": point,
+                }
+            )
 
     def record_failover(self, segment: int, reason: str) -> None:
         """One primary marked down with its mirror taking over."""
-        self.failovers.append({"segment": segment, "reason": reason})
+        with self._lock:
+            self.failovers.append({"segment": segment, "reason": reason})
 
     def record_fault_points(self, snapshot: dict[str, dict]) -> None:
         """Final per-injection-point hit/fired counters for the query."""
@@ -517,10 +591,103 @@ class MetricsCollector:
             "resilience": self.resilience_stats(),
             "trace": self.trace_summary,
             "optimizer": self.optimizer_summary,
+            "parallel": self.parallel_stats(),
         }
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+class WorkerMetrics:
+    """Per-worker recording view of one (slice, segment) instance.
+
+    The parallel scheduler hands each instance this thin facade instead of
+    the shared :class:`MetricsCollector`.  Counters that are slotted per
+    segment (``rows_out``, ``loops``, ``time_s``, per-segment partition
+    sets) are touched by exactly one instance per slice, so those calls
+    delegate straight to the collector, lock-free.  The counters that
+    *would* be contended across workers — ``ScanTracker`` totals, Motion
+    ``rows_by_target``/``bytes_moved`` (many producers, one target), and
+    selector ``pushed`` counts — accumulate locally and fold back in a
+    single :meth:`merge` under the collector lock when the instance ends.
+
+    ``merge`` runs on success *and* failure (before an instance retry), so
+    parallel counters stay cumulative across attempts exactly like the
+    serial executor's.
+    """
+
+    def __init__(self, base: MetricsCollector, segment: int):
+        self._base = base
+        self.segment = segment
+        self._rows_scanned = 0
+        #: (table name, leaf oid) pairs for the aggregate ScanTracker
+        self._leaves: list[tuple[str, int]] = []
+        #: part_scan_id -> OIDs pushed by this instance
+        self._pushed: dict[int, int] = {}
+        #: id(op) -> [op, kind, rows per target segment, bytes moved]
+        self._motions: dict[int, list] = {}
+
+    def __getattr__(self, name: str):
+        # everything not intercepted (instrument, node, record_slice, ...)
+        # behaves exactly as on the shared collector
+        return getattr(self._base, name)
+
+    # -- intercepted recorders (contended counters buffered locally) ---------
+
+    def record_leaf(self, op, table, leaf_oid: int, segment: int) -> None:
+        self._leaves.append((table.name, leaf_oid))
+        node = self._base.node(op)
+        node.table_name = table.name
+        if node.partitions_total is None:
+            node.partitions_total = table.num_leaves
+            self._base._table_totals[table.name] = table.num_leaves
+        node.partitions[segment].add(leaf_oid)
+
+    def record_scan_rows(self, op, table, segment: int, count: int) -> None:
+        self._rows_scanned += count
+        node = self._base.node(op)
+        node.table_name = table.name
+        node.rows_scanned[segment] += count
+
+    def record_propagation(
+        self, part_scan_id: int, segment: int, oid: int
+    ) -> None:
+        entry = self._base._selector(part_scan_id)
+        entry["selected"][segment].add(oid)
+        self._pushed[part_scan_id] = self._pushed.get(part_scan_id, 0) + 1
+
+    def record_motion(
+        self, op, kind: str, target_segment: int, row: tuple
+    ) -> None:
+        entry = self._motions.get(id(op))
+        if entry is None:
+            entry = [op, kind, [0] * self._base.num_segments, 0]
+            self._motions[id(op)] = entry
+        entry[2][target_segment] += 1
+        entry[3] += _row_bytes(row)
+
+    # -- fold-back -----------------------------------------------------------
+
+    def merge(self) -> None:
+        """Fold the local accumulators into the shared collector (one lock
+        acquisition per instance, not per row) and reset them."""
+        base = self._base
+        with base._lock:
+            base.tracker.record_rows(self._rows_scanned)
+            for table_name, leaf_oid in self._leaves:
+                base.tracker.record_leaf(table_name, leaf_oid)
+            for part_scan_id, count in self._pushed.items():
+                base._selector(part_scan_id)["pushed"] += count
+            for op, kind, by_target, bytes_moved in self._motions.values():
+                node = base.node(op)
+                node.motion_kind = kind
+                for target, count in enumerate(by_target):
+                    node.rows_by_target[target] += count
+                node.bytes_moved += bytes_moved
+        self._rows_scanned = 0
+        self._leaves = []
+        self._pushed = {}
+        self._motions = {}
 
 
 def _counted_iter(node: NodeMetrics, segment: int, inner):

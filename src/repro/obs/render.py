@@ -38,6 +38,16 @@ def render_explain_analyze(metrics: MetricsCollector) -> str:
             f"Slice {entry['id']} ({entry['label']}): "
             f"{entry['seconds'] * 1000:.2f} ms"
         )
+    if metrics.workers > 1:
+        parallel = metrics.parallel_stats()
+        line = f"Parallel: {parallel['workers']} workers"
+        if parallel["overlap"] is not None:
+            line += (
+                f", {parallel['instance_busy_seconds'] * 1000:.2f} ms of "
+                f"segment work in {metrics.elapsed_seconds * 1000:.2f} ms "
+                f"wall ({parallel['overlap']:.2f}x overlap)"
+            )
+        lines.append(line)
     if metrics.retry_count or metrics.failover_count:
         mirrored = sorted(
             {entry["segment"] for entry in metrics.failovers}

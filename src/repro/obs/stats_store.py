@@ -25,6 +25,7 @@ Exports:
 from __future__ import annotations
 
 import json
+import threading
 
 from ..errors import ReproError
 from ..sql import lexer
@@ -106,6 +107,9 @@ class QueryStatsStore:
 
     def __init__(self):
         self._entries: dict[str, QueryStats] = {}
+        #: one store serves every query of a Database — queries issued
+        #: from different threads must not tear an entry's counters
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,23 +118,24 @@ class QueryStatsStore:
         """Fold one :class:`~repro.executor.executor.ExecutionResult` into
         the store; returns the updated entry."""
         fp = fingerprint(query)
-        entry = self._entries.get(fp)
-        if entry is None:
-            entry = QueryStats(fp)
-            self._entries[fp] = entry
         metrics = result.metrics
         elapsed = result.elapsed_seconds
-        entry.calls += 1
-        entry.total_seconds += elapsed
-        entry.max_seconds = max(entry.max_seconds, elapsed)
-        entry.rows += len(result.rows)
-        entry.rows_scanned += metrics.total_rows_scanned
-        entry.partitions_scanned += metrics.partitions_scanned()
-        for stats in metrics.table_stats().values():
-            if stats.get("partitions_total"):
-                entry.partitions_eligible += stats["partitions_total"]
-        entry.retries += metrics.retry_count
-        entry.failovers += metrics.failover_count
+        with self._lock:
+            entry = self._entries.get(fp)
+            if entry is None:
+                entry = QueryStats(fp)
+                self._entries[fp] = entry
+            entry.calls += 1
+            entry.total_seconds += elapsed
+            entry.max_seconds = max(entry.max_seconds, elapsed)
+            entry.rows += len(result.rows)
+            entry.rows_scanned += metrics.total_rows_scanned
+            entry.partitions_scanned += metrics.partitions_scanned()
+            for stats in metrics.table_stats().values():
+                if stats.get("partitions_total"):
+                    entry.partitions_eligible += stats["partitions_total"]
+            entry.retries += metrics.retry_count
+            entry.failovers += metrics.failover_count
         return entry
 
     def get(self, query_or_fingerprint: str) -> QueryStats | None:
@@ -145,7 +150,8 @@ class QueryStatsStore:
         return [self._entries[fp] for fp in sorted(self._entries)]
 
     def reset(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # -- exports -------------------------------------------------------------
 

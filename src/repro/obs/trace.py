@@ -28,6 +28,7 @@ Schema documented in ``docs/observability.md``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Iterator
 
@@ -90,6 +91,21 @@ def span(name: str, **attrs):
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, **attrs)
+
+
+def worker_span(parent, name: str, **attrs):
+    """A span explicitly parented under ``parent`` (a :class:`Span`), for
+    worker threads.
+
+    Span nesting is tracked per thread, so a worker thread's first span
+    would otherwise open at the root; the parallel scheduler instead
+    passes the enclosing ``slice:N`` span so ``segment:K`` spans land
+    under it.  No-op when tracing is off (``parent`` is then None, since
+    :func:`span` returned the null handle)."""
+    tracer = _active
+    if tracer is None or parent is None:
+        return _NULL_SPAN
+    return tracer.span(name, _parent=parent, **attrs)
 
 
 class Span:
@@ -168,31 +184,53 @@ class Tracer:
         self._origin = self._clock()
         #: spans in start order (the stable export order)
         self.spans: list[Span] = []
-        self._stack: list[Span] = []
+        #: span nesting is per thread — each worker thread gets its own
+        #: open-span stack, so concurrent segment instances can't corrupt
+        #: each other's parentage
+        self._stacks = threading.local()
+        #: guards span-id assignment + the spans list across threads
+        self._lock = threading.Lock()
         #: typed optimizer search events (see :mod:`repro.obs.opt_events`)
         self.optimizer = OptimizerEventLog()
 
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
     # -- span lifecycle ----------------------------------------------------
 
-    def span(self, name: str, **attrs) -> _SpanHandle:
-        parent = self._stack[-1] if self._stack else None
-        opened = Span(
-            len(self.spans),
-            parent.span_id if parent is not None else None,
-            name,
-            parent.depth + 1 if parent is not None else 0,
-            self._clock() - self._origin,
-            attrs,
-        )
-        self.spans.append(opened)
-        self._stack.append(opened)
+    def span(self, name: str, _parent: Span | None = None, **attrs) -> _SpanHandle:
+        """Open a span; ``_parent`` overrides the thread-local nesting
+        (used by :func:`worker_span` to attach worker-thread spans under
+        the slice span opened on the scheduling thread)."""
+        stack = self._stack()
+        parent = _parent
+        if parent is None:
+            parent = stack[-1] if stack else None
+        start_s = self._clock() - self._origin
+        with self._lock:
+            opened = Span(
+                len(self.spans),
+                parent.span_id if parent is not None else None,
+                name,
+                parent.depth + 1 if parent is not None else 0,
+                start_s,
+                attrs,
+            )
+            self.spans.append(opened)
+        stack.append(opened)
         return _SpanHandle(self, opened)
 
     def _close(self, span: Span) -> None:
         span.end_s = self._clock() - self._origin
-        # Close any dangling descendants too (exception unwinding).
-        while self._stack:
-            top = self._stack.pop()
+        # Close any dangling descendants too (exception unwinding).  The
+        # stack is the opening thread's own, so no lock is needed.
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
             if top.end_s is None:
                 top.end_s = span.end_s
             if top is span:

@@ -18,6 +18,7 @@ a run is reproducible from ``FaultInjector(seed=...)``.
 from __future__ import annotations
 
 import random
+import threading
 
 from ..errors import ExecutionError, SegmentFailure
 
@@ -118,6 +119,11 @@ class FaultInjector:
     def __init__(self, seed: int = 0):
         self._specs: list[FaultSpec] = []
         self._rng = random.Random(seed)
+        #: serializes trigger evaluation so counter-based modes stay exact
+        #: when segment instances race on worker threads (two threads must
+        #: not both fire a FAIL_ONCE spec); the fault-free fast path in
+        #: :meth:`maybe_fire` never takes it
+        self._lock = threading.Lock()
         #: injection point -> evaluations that matched an armed spec
         self.hits_by_point: dict[str, int] = {}
         #: injection point -> faults actually raised
@@ -170,26 +176,32 @@ class FaultInjector:
         """
         if not self._specs:
             return
-        for spec in self._specs:
-            if not spec.matches(point, segment) or spec.exhausted:
-                continue
-            spec.hits += 1
-            self.hits_by_point[point] = self.hits_by_point.get(point, 0) + 1
-            if spec.hits <= spec.skip:
-                continue
-            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
-                continue
-            spec.fired += 1
-            self.fired_by_point[point] = (
-                self.fired_by_point.get(point, 0) + 1
-            )
-            raise SegmentFailure(
-                f"injected fault at {point} on segment {segment} "
-                f"({spec.mode}, fault #{spec.fired})",
-                segment=segment,
-                point=point,
-                transient=spec.transient,
-            )
+        with self._lock:
+            for spec in self._specs:
+                if not spec.matches(point, segment) or spec.exhausted:
+                    continue
+                spec.hits += 1
+                self.hits_by_point[point] = (
+                    self.hits_by_point.get(point, 0) + 1
+                )
+                if spec.hits <= spec.skip:
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and self._rng.random() >= spec.probability
+                ):
+                    continue
+                spec.fired += 1
+                self.fired_by_point[point] = (
+                    self.fired_by_point.get(point, 0) + 1
+                )
+                raise SegmentFailure(
+                    f"injected fault at {point} on segment {segment} "
+                    f"({spec.mode}, fault #{spec.fired})",
+                    segment=segment,
+                    point=point,
+                    transient=spec.transient,
+                )
 
     def snapshot(self) -> dict:
         """Per-point counters for the metrics export (schema v2)."""

@@ -16,6 +16,7 @@ cancelled query from a timed-out or over-budget one.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from ..errors import QueryCancelled, QueryTimeout, ResourceLimitExceeded
@@ -73,6 +74,12 @@ class QueryLimits:
         self._deadline: float | None = None
         self._ticks = 0
         self._buffered_rows = 0
+        #: guards the buffered-row budget — blocking operators on
+        #: different segment workers charge it concurrently.  ``tick``'s
+        #: ``_ticks`` counter stays lock-free on purpose: a lost increment
+        #: only shifts *when* the amortized deadline check happens, never
+        #: whether limits are enforced.
+        self._charge_lock = threading.Lock()
 
     @property
     def active(self) -> bool:
@@ -131,7 +138,8 @@ class QueryLimits:
         input, hash-join build side, motion receive buffers, ...)."""
         if self.max_rows is None:
             return
-        self._buffered_rows += count
+        with self._charge_lock:
+            self._buffered_rows += count
         if self._buffered_rows > self.max_rows:
             raise ResourceLimitExceeded(
                 f"query buffered {self._buffered_rows} rows in blocking "

@@ -13,6 +13,8 @@ an unrecoverable :class:`~repro.errors.SegmentFailure`.
 
 from __future__ import annotations
 
+import threading
+
 from ..errors import SegmentFailure
 
 UP = "up"
@@ -28,6 +30,9 @@ class SegmentHealth:
         self.num_segments = num_segments
         self._primary_up = [True] * num_segments
         self._mirror_up = [True] * num_segments
+        #: serializes state transitions and read counters — storage reads
+        #: and failovers arrive concurrently from segment worker threads
+        self._lock = threading.Lock()
         #: chronological failover log: {"segment", "reason"}
         self.failover_events: list[dict] = []
         #: reads served from a mirror while its primary was down, per segment
@@ -59,16 +64,18 @@ class SegmentHealth:
         already-down segment are recorded once.
         """
         self._check_segment(segment)
-        if self._primary_up[segment]:
-            self._primary_up[segment] = False
-            self.failover_events.append(
-                {"segment": segment, "reason": reason}
-            )
-        return self._mirror_up[segment]
+        with self._lock:
+            if self._primary_up[segment]:
+                self._primary_up[segment] = False
+                self.failover_events.append(
+                    {"segment": segment, "reason": reason}
+                )
+            return self._mirror_up[segment]
 
     def mark_mirror_down(self, segment: int) -> None:
         self._check_segment(segment)
-        self._mirror_up[segment] = False
+        with self._lock:
+            self._mirror_up[segment] = False
 
     def recover(self, segment: int) -> None:
         """Bring a segment's primary (and mirror) back up — instant resync,
@@ -84,7 +91,8 @@ class SegmentHealth:
     # -- the storage read path ---------------------------------------------
 
     def record_mirror_read(self, segment: int) -> None:
-        self.mirror_reads[segment] += 1
+        with self._lock:
+            self.mirror_reads[segment] += 1
 
     def require_readable(self, segment: int) -> bool:
         """Whether reads for ``segment`` must be served from the mirror.

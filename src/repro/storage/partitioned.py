@@ -8,6 +8,7 @@ OID to its owning table's store.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Sequence
 
 from ..catalog import Catalog, TableDescriptor
@@ -34,6 +35,13 @@ class StorageManager:
         self.num_segments = num_segments
         self.health = health if health is not None else SegmentHealth(num_segments)
         self._stores: dict[int, TableStore] = {}
+        #: simulated per-read I/O latency in seconds (0.0 = off).  Each
+        #: ``scan_table``/``scan_leaf`` call sleeps this long before its
+        #: first row — modelling the seek a real segment pays per
+        #: partition file.  The sleep releases the GIL, so it is also what
+        #: the parallel scheduler genuinely overlaps across segment worker
+        #: threads (the fig19 benchmark's speedup source).
+        self.io_latency_s = 0.0
 
     def register(self, descriptor: TableDescriptor) -> TableStore:
         if descriptor.oid in self._stores:
@@ -59,9 +67,22 @@ class StorageManager:
     def scan_leaf(self, segment: int, leaf_oid: int) -> Iterator[tuple]:
         """Scan one leaf partition on one segment, addressed purely by OID."""
         owner = self.catalog.owner_of_leaf(leaf_oid)
-        return self.store(owner.oid).scan_segment(segment, [leaf_oid])
+        inner = self.store(owner.oid).scan_segment(segment, [leaf_oid])
+        if self.io_latency_s > 0:
+            return self._delayed(inner)
+        return inner
 
     def scan_table(
         self, segment: int, root_oid: int, oids: Sequence[int] | None = None
     ) -> Iterator[tuple]:
-        return self.store(root_oid).scan_segment(segment, oids)
+        inner = self.store(root_oid).scan_segment(segment, oids)
+        if self.io_latency_s > 0:
+            return self._delayed(inner)
+        return inner
+
+    def _delayed(self, inner: Iterator[tuple]) -> Iterator[tuple]:
+        """Pay the simulated I/O latency lazily, on the consumer's first
+        ``next()`` — i.e. on the worker thread that actually runs the
+        scan, not on the thread that built the iterator."""
+        time.sleep(self.io_latency_s)
+        yield from inner

@@ -97,3 +97,19 @@ def test_registry_discard_drops_all_segments():
     fresh.push(5)
     fresh.close()
     assert fresh.consume() == [5]
+
+
+def test_registry_discard_scoped_to_one_segment():
+    """Instance retry discards only the failed segment's channels: the
+    healthy segments' filled-and-closed channels must survive."""
+    registry = ChannelRegistry()
+    survivor = registry.channel(1, 0)
+    survivor.push(7)
+    survivor.close()
+    registry.channel(1, 2)
+    registry.channel(2, 2)
+    removed = registry.discard([1, 2], segment=2)
+    assert removed == 2
+    assert registry.channels() == [survivor]
+    # The untouched channel is still drainable by its consumer.
+    assert survivor.consume() == [7]

@@ -1,0 +1,98 @@
+"""Property-based serial/parallel equivalence.
+
+For random partition predicates and any worker count, a parallel run must
+return exactly the serial rows *and* scan exactly the serial partition set
+— parallelism may never change what partition elimination selects or what
+the query answers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+
+ROWS = 400
+DOMAIN = 1000
+PARTS = 8
+
+
+def _build_db() -> Database:
+    db = Database(num_segments=4)
+    db.create_table(
+        "facts",
+        TableSchema.of(("id", t.INT), ("key", t.INT), ("val", t.INT)),
+        distribution=DistributionPolicy.hashed("id"),
+        partition_scheme=PartitionScheme(
+            [uniform_int_level("key", 0, DOMAIN, PARTS)]
+        ),
+    )
+    db.create_table(
+        "dim",
+        TableSchema.of(("key", t.INT), ("grp", t.INT)),
+        distribution=DistributionPolicy.hashed("key"),
+    )
+    rng = random.Random(1234)
+    db.insert(
+        "facts",
+        [(i, rng.randrange(DOMAIN), rng.randrange(50)) for i in range(ROWS)],
+    )
+    db.insert("dim", [(k, k % 10) for k in range(0, DOMAIN, 7)])
+    db.analyze()
+    return db
+
+
+DB = _build_db()
+
+bounds = st.integers(min_value=-50, max_value=DOMAIN + 50)
+workers_counts = st.sampled_from([1, 2, 4])
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(lo=bounds, hi=bounds, workers=workers_counts)
+def test_static_elimination_is_worker_invariant(lo, hi, workers):
+    """Random range predicate on the partition key: identical rows and an
+    identical scanned-partition count at every worker setting."""
+    sql = f"SELECT id, key, val FROM facts WHERE key >= {lo} AND key <= {hi}"
+    serial = DB.sql(sql, analyze=True)
+    parallel = DB.sql(sql, analyze=True, workers=workers)
+    assert sorted(parallel.rows) == sorted(serial.rows)
+    assert (
+        parallel.metrics.partitions_scanned()
+        == serial.metrics.partitions_scanned()
+    )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(grp=st.integers(min_value=0, max_value=9), workers=workers_counts)
+def test_join_elimination_is_worker_invariant(grp, workers):
+    """Random dimension filter driving join-based partition elimination:
+    the multi-slice plan (Motions included) is worker-invariant."""
+    sql = (
+        "SELECT count(*), sum(f.val) FROM facts f, dim d "
+        f"WHERE f.key = d.key AND d.grp = {grp}"
+    )
+    serial = DB.sql(sql, analyze=True)
+    parallel = DB.sql(sql, analyze=True, workers=workers)
+    assert parallel.rows == serial.rows
+    assert (
+        parallel.metrics.partitions_scanned()
+        == serial.metrics.partitions_scanned()
+    )

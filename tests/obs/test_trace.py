@@ -94,7 +94,7 @@ def test_exception_unwind_closes_dangling_spans():
                 with obs_trace.span("inner"):
                     raise RuntimeError("boom")
     assert all(s.end_s is not None for s in tracer.spans)
-    assert tracer._stack == []
+    assert tracer._stack() == []
 
 
 def test_jsonl_export_is_one_stable_object_per_span():
@@ -166,7 +166,7 @@ def test_traced_join_optimizer_summary(orders_db):
 def test_traced_metrics_export_carries_trace_sections(orders_db):
     result = orders_db.sql(JOIN_SQL, trace=True)
     data = json.loads(result.metrics.to_json())
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
     # top-level phases (nested spans such as place_partition_selectors and
     # the slices live in the span list, under their parents)
     assert _is_subsequence(

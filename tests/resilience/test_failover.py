@@ -72,18 +72,19 @@ def _clean_state(fdb):
     fdb.health.recover_all()
 
 
-def test_demo_single_primary_failure_is_transparent(fdb):
+@pytest.mark.parametrize("workers", [1, 4])
+def test_demo_single_primary_failure_is_transparent(fdb, workers):
     """The ISSUE acceptance scenario: a multi-slice join with one injected
     primary failure completes via mirror failover with identical rows, and
-    schema-v2 metrics record the failover and retry."""
+    the metrics record the failover and retry — serial and parallel alike."""
     baseline = fdb.sql(JOIN_SQL).rows
 
     fdb.faults.arm(SCAN_ROW, segment=2, mode=FAIL_ONCE)
-    result = fdb.sql(JOIN_SQL)
+    result = fdb.sql(JOIN_SQL, workers=workers)
 
     assert result.rows == baseline
     data = result.metrics.to_dict()
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
     resilience = data["resilience"]
     assert resilience["failover_count"] >= 1
     assert resilience["retry_count"] >= 1
@@ -93,45 +94,49 @@ def test_demo_single_primary_failure_is_transparent(fdb):
     assert fdb.health.mirror_reads[2] > 0
 
 
+@pytest.mark.parametrize("workers", [1, 4])
 @pytest.mark.parametrize(
     "point", [SLICE_START, MOTION_SEND, SCAN_ROW, CHANNEL_CLOSE]
 )
-def test_every_injection_point_fails_over_cleanly(fdb, point):
+def test_every_injection_point_fails_over_cleanly(fdb, point, workers):
     baseline = fdb.sql(JOIN_SQL).rows
     fdb.faults.arm(point, segment=1, mode=FAIL_ONCE)
-    result = fdb.sql(JOIN_SQL)
+    result = fdb.sql(JOIN_SQL, workers=workers)
     assert result.rows == baseline
     assert result.metrics.failover_count == 1
     assert not fdb.health.is_up(1)
 
 
-def test_transient_failure_retries_in_place(fdb):
-    """A transient fault retries the slice without marking the primary
-    down — no failover, segment stays up."""
+@pytest.mark.parametrize("workers", [1, 4])
+def test_transient_failure_retries_in_place(fdb, workers):
+    """A transient fault retries the failed segment's instance without
+    marking the primary down — no failover, segment stays up."""
     baseline = fdb.sql(JOIN_SQL).rows
     fdb.faults.arm(MOTION_SEND, segment=1, mode=FAIL_ONCE, transient=True)
-    result = fdb.sql(JOIN_SQL)
+    result = fdb.sql(JOIN_SQL, workers=workers)
     assert result.rows == baseline
     assert result.metrics.retry_count == 1
     assert result.metrics.failover_count == 0
     assert fdb.health.is_up(1)
 
 
-def test_persistent_failure_exhausts_retries(fdb):
+@pytest.mark.parametrize("workers", [1, 4])
+def test_persistent_failure_exhausts_retries(fdb, workers):
     """ALWAYS-mode faults outlast the retry budget and surface as the
     typed SegmentFailure, never a bare exception."""
     fdb.faults.arm(SLICE_START, segment=0, mode=ALWAYS, transient=True)
     with pytest.raises(SegmentFailure):
-        fdb.sql(JOIN_SQL)
+        fdb.sql(JOIN_SQL, workers=workers)
 
 
-def test_double_fault_is_unrecoverable(fdb):
+@pytest.mark.parametrize("workers", [1, 4])
+def test_double_fault_is_unrecoverable(fdb, workers):
     """Primary fails and the mirror is also down: the typed error
     propagates instead of wrong results."""
     fdb.health.mark_mirror_down(2)
     fdb.faults.arm(SCAN_ROW, segment=2, mode=FAIL_ONCE)
     with pytest.raises(SegmentFailure):
-        fdb.sql(JOIN_SQL)
+        fdb.sql(JOIN_SQL, workers=workers)
 
 
 def test_queries_keep_working_after_failover(fdb):

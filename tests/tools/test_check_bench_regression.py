@@ -1,0 +1,134 @@
+"""The CI bench-regression gate: deterministic counters gate hard,
+wall clocks only warn."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+TOOL = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "tools"
+    / "check_bench_regression.py"
+)
+
+FIG16 = {
+    "tables": {
+        "store_sales": {"orca": 108, "planner": 276},
+        "web_returns": {"orca": 74, "planner": 132},
+    }
+}
+FIG18A = {
+    "fractions": [0.01, 0.25, 0.5, 0.75, 1.0],
+    "planner_bytes": [910, 5950, 11522, 17094, 22652],
+    "orca_bytes": [1630] * 5,
+}
+FIG19 = {
+    "segments": 4,
+    "measurements": [
+        {"workers": 1, "seconds": 0.120, "speedup": 1.0},
+        {"workers": 4, "seconds": 0.033, "speedup": 3.6},
+    ],
+}
+
+
+def _write_results(directory: pathlib.Path, **overrides) -> None:
+    payloads = {
+        "fig16_partitions_scanned.json": FIG16,
+        "fig18a_static_plan_size.json": FIG18A,
+        "fig19_parallel_speedup.json": FIG19,
+    }
+    payloads.update(overrides)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, payload in payloads.items():
+        (directory / name).write_text(json.dumps(payload))
+
+
+def _run(baseline: pathlib.Path, current: pathlib.Path):
+    return subprocess.run(
+        [sys.executable, str(TOOL), str(baseline), str(current)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_identical_results_pass(tmp_path):
+    _write_results(tmp_path / "baseline")
+    _write_results(tmp_path / "current")
+    proc = _run(tmp_path / "baseline", tmp_path / "current")
+    assert proc.returncode == 0, proc.stdout
+    assert "bench gate: OK" in proc.stdout
+
+
+def test_perturbed_fig16_counter_fails(tmp_path):
+    """The acceptance check: a partitions-scanned regression must turn the
+    gate red."""
+    _write_results(tmp_path / "baseline")
+    worse = json.loads(json.dumps(FIG16))
+    worse["tables"]["store_sales"]["orca"] = 276  # elimination broke
+    _write_results(
+        tmp_path / "current", **{"fig16_partitions_scanned.json": worse}
+    )
+    proc = _run(tmp_path / "baseline", tmp_path / "current")
+    assert proc.returncode == 1, proc.stdout
+    assert "FAIL" in proc.stdout and "tables" in proc.stdout
+
+
+def test_plan_size_regression_fails(tmp_path):
+    _write_results(tmp_path / "baseline")
+    bloated = dict(FIG18A, orca_bytes=[1630, 1630, 1630, 1630, 22652])
+    _write_results(
+        tmp_path / "current", **{"fig18a_static_plan_size.json": bloated}
+    )
+    proc = _run(tmp_path / "baseline", tmp_path / "current")
+    assert proc.returncode == 1
+    assert "orca_bytes" in proc.stdout
+
+
+def test_wall_clock_slowdown_only_warns(tmp_path):
+    _write_results(tmp_path / "baseline")
+    slow = json.loads(json.dumps(FIG19))
+    slow["measurements"][1]["seconds"] = 0.099  # 3x slower than baseline
+    _write_results(
+        tmp_path / "current", **{"fig19_parallel_speedup.json": slow}
+    )
+    proc = _run(tmp_path / "baseline", tmp_path / "current")
+    assert proc.returncode == 0, proc.stdout
+    assert "WARN" in proc.stdout and "report-only" in proc.stdout
+
+
+def test_missing_gated_file_in_current_fails(tmp_path):
+    _write_results(tmp_path / "baseline")
+    _write_results(tmp_path / "current")
+    (tmp_path / "current" / "fig16_partitions_scanned.json").unlink()
+    proc = _run(tmp_path / "baseline", tmp_path / "current")
+    assert proc.returncode == 1
+    assert "missing from current" in proc.stdout
+
+
+def test_missing_baseline_file_only_warns(tmp_path):
+    """First run on a branch: no baseline yet is not a failure."""
+    _write_results(tmp_path / "baseline")
+    (tmp_path / "baseline" / "fig16_partitions_scanned.json").unlink()
+    _write_results(tmp_path / "current")
+    proc = _run(tmp_path / "baseline", tmp_path / "current")
+    assert proc.returncode == 0, proc.stdout
+    assert "no baseline to compare against" in proc.stdout
+
+
+def test_repo_baselines_match_committed_format():
+    """The committed baselines parse and carry every hard-gated counter."""
+    baselines = TOOL.parent.parent / "benchmarks" / "baselines"
+    fig16 = json.loads(
+        (baselines / "fig16_partitions_scanned.json").read_text()
+    )
+    assert fig16["tables"], "fig16 baseline has per-table counters"
+    for name in (
+        "fig18a_static_plan_size.json",
+        "fig18b_join_plan_size.json",
+        "fig18c_dml_plan_size.json",
+    ):
+        payload = json.loads((baselines / name).read_text())
+        assert payload["planner_bytes"] and payload["orca_bytes"]
