@@ -1,0 +1,122 @@
+"""Fingerprint-keyed partition-selection caching.
+
+A PartitionSelector's output — the partition OID set pushed into each
+``(part_scan_id, segment)`` channel — is a pure function of (statement
+shape, literal/parameter values, catalog schemes, and the rows streamed
+through dynamic selectors).  For heavy repeated traffic the same hot
+statement re-derives the same OID sets on every call; this cache stores
+them per :class:`~repro.cache.keys.StatementKey` so a repeat execution
+short-circuits selector evaluation entirely (the executor pushes the
+cached OIDs and skips building the selector program — the dominant cost
+for wide IN-lists over many partitions).
+
+Soundness rests on the entry's invalidation classification:
+
+* ``scoped`` — partitioned tables whose selectors *target* them.  A
+  static selector's OID set is data-independent and a dynamic selector's
+  set is driven by the *other* side of the join, so DML into the target
+  table can only matter through the issue's partition-scoped rule:
+  INSERT/UPDATE/DELETE touching partition ``P`` invalidates entries whose
+  cached OID set intersects ``P`` (conservative, and exactly what the
+  result cache needs too).
+* ``volatile`` — every other table the plan reads (dimension sides,
+  unpartitioned scans, guarded leaf scans).  Their rows *feed* selection,
+  so any DML on them drops the entry unconditionally.
+
+Entries are immutable; the cache is thread-safe and LRU-bounded (see
+:mod:`repro.cache.lru`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .keys import StatementKey
+from .lru import LruCache
+
+#: per-OID accounting estimate: one small int plus container overhead
+_OID_BYTES = 12
+_ENTRY_OVERHEAD = 256
+
+
+class SelectionEntry:
+    """Cached partition selections of one statement execution."""
+
+    __slots__ = ("key", "selections", "scoped", "volatile", "size_bytes")
+
+    def __init__(
+        self,
+        key: StatementKey,
+        selections: Mapping[int, Mapping[int, tuple[int, ...]]],
+        scoped: Mapping[int, frozenset[int]],
+        volatile: frozenset[int],
+    ):
+        #: part_scan_id -> segment -> sorted OID tuple (the channel replay)
+        self.selections: dict[int, dict[int, tuple[int, ...]]] = {
+            scan_id: dict(per_segment)
+            for scan_id, per_segment in selections.items()
+        }
+        self.key = key
+        #: selector-target root OID -> union of cached leaf OIDs
+        self.scoped: dict[int, frozenset[int]] = {
+            oid: frozenset(leaves) for oid, leaves in scoped.items()
+        }
+        #: root OIDs whose *rows* drive selection — any DML drops the entry
+        self.volatile = frozenset(volatile)
+        self.size_bytes = _ENTRY_OVERHEAD + _OID_BYTES * (
+            sum(
+                len(oids)
+                for per_segment in self.selections.values()
+                for oids in per_segment.values()
+            )
+            + sum(len(leaves) for leaves in self.scoped.values())
+            + len(self.volatile)
+        )
+
+    def oids(self, part_scan_id: int, segment: int) -> tuple[int, ...] | None:
+        per_segment = self.selections.get(part_scan_id)
+        if per_segment is None:
+            return None
+        return per_segment.get(segment)
+
+    def tables(self) -> frozenset[int]:
+        return self.volatile | frozenset(self.scoped)
+
+    def stale_after(
+        self, root_oid: int, leaf_oids: frozenset[int] | None
+    ) -> bool:
+        """Does DML touching ``leaf_oids`` of ``root_oid`` stale this
+        entry?  ``leaf_oids=None`` means the whole table (truncate, DDL)."""
+        if root_oid in self.volatile:
+            return True
+        scoped = self.scoped.get(root_oid)
+        if scoped is None:
+            return False
+        if leaf_oids is None:
+            return True
+        return bool(scoped & leaf_oids)
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionEntry({self.key.describe()}, "
+            f"{len(self.selections)} selector(s), {self.size_bytes} B)"
+        )
+
+
+class PartitionSelectionCache(LruCache[SelectionEntry]):
+    """StatementKey -> :class:`SelectionEntry`, LRU + byte bounded."""
+
+    @staticmethod
+    def entry_bytes(entry: SelectionEntry) -> int:
+        return entry.size_bytes
+
+    def store(self, entry: SelectionEntry) -> None:
+        self.put(entry.key, entry)
+
+    def invalidate(
+        self, root_oid: int, leaf_oids: frozenset[int] | None
+    ) -> int:
+        """Apply one DML event; returns the number of entries dropped."""
+        return self.invalidate_where(
+            lambda entry: entry.stale_after(root_oid, leaf_oids)
+        )

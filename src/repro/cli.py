@@ -43,6 +43,10 @@ Meta commands:
                      partitions scanned/eligible, retries, failovers)
   \\stats prometheus  the same store in Prometheus text format
   \\stats reset       clear the statistics store
+  \\cache             cache counters (hits, misses, invalidations, bytes)
+                     and the cached statements
+  \\cache prometheus  the cache counters in Prometheus text format
+  \\cache clear       drop every cached entry
   \\help              this text
   \\q                 quit
 SET statements configure the session:
@@ -54,6 +58,11 @@ SET statements configure the session:
   SET workers N;           SET workers off;         parallel segment
                    execution on N worker threads (results identical to
                    serial; off = serial)
+  SET cache off|partitions|results;                 statement caching:
+                   'partitions' replays partition-selector OID sets for
+                   repeat statements, 'results' additionally serves repeat
+                   SELECTs from cached results; DML invalidates entries
+                   per touched partition (see docs/caching.md)
 SQL statements additionally support the EXPLAIN, EXPLAIN ANALYZE and
 EXPLAIN (TRACE) prefixes (ANALYZE executes the query and annotates the
 plan with per-node actual rows, partitions scanned and Motion traffic;
@@ -85,6 +94,8 @@ class ReplSession:
         self.max_rows: int | None = None
         #: segment-scheduler pool size (None = the Database default, serial)
         self.workers: int | None = None
+        #: cache mode for every query (None = the Database default)
+        self.cache: str | None = None
         self._buffer: list[str] = []
 
     # -- line protocol -----------------------------------------------------
@@ -145,18 +156,44 @@ class ReplSession:
             return "\n".join(lines)
         if name == "\\stats":
             return self._stats(argument)
+        if name == "\\cache":
+            return self._cache(argument)
         return f"unknown command {name!r}; try \\help"
 
     def _stats(self, argument: str) -> str:
         store = self.db.stats()
+        cache = self.db.cache
         if not argument:
-            return store.render()
+            text = store.render()
+            totals = cache.stats_dict()
+            mode = self.cache if self.cache is not None else cache.config.mode
+            if totals["hits"] or totals["misses"] or totals["bytes"]:
+                text += (
+                    f"\ncache ({mode}): {totals['hits']} hits, "
+                    f"{totals['misses']} misses, "
+                    f"{totals['invalidations']} invalidations, "
+                    f"{totals['bytes']} B cached (\\cache for detail)"
+                )
+            return text
         if argument.lower() == "reset":
             store.reset()
             return "query statistics reset"
         if argument.lower() == "prometheus":
-            return store.to_prometheus()
+            # one scrape body: query stats plus the cache families
+            return store.to_prometheus() + cache.to_prometheus()
         return "usage: \\stats [reset | prometheus]"
+
+    def _cache(self, argument: str) -> str:
+        manager = self.db.cache
+        if not argument:
+            mode = self.cache if self.cache is not None else manager.config.mode
+            return f"session cache mode: {mode}\n{manager.render()}"
+        if argument.lower() == "clear":
+            dropped = manager.clear()
+            return f"cache cleared ({dropped} entries dropped)"
+        if argument.lower() == "prometheus":
+            return manager.to_prometheus()
+        return "usage: \\cache [clear | prometheus]"
 
     def _describe(self, name: str) -> str:
         if name:
@@ -222,6 +259,7 @@ class ReplSession:
                         timeout=self.timeout_seconds,
                         max_rows=self.max_rows,
                         workers=self.workers,
+                        cache=self.cache,
                     )
                 if explain.group(2) or explain.group(3):
                     return self.db.explain_trace(body, optimizer=self.optimizer)
@@ -230,7 +268,12 @@ class ReplSession:
                 return self._error(exc)
         setting = _SET_RE.match(sql.strip())
         if setting is not None:
-            return self._set(setting.group(1).lower(), setting.group(2).strip())
+            output = self._set(setting.group(1).lower(), setting.group(2).strip())
+            if output.startswith("ERROR"):
+                # _set renders its own ERROR lines (they never raise), but a
+                # failed SET must still fail a scripted run.
+                self.errors += 1
+            return output
         try:
             result = self.db.sql(
                 sql,
@@ -238,6 +281,7 @@ class ReplSession:
                 timeout=self.timeout_seconds,
                 max_rows=self.max_rows,
                 workers=self.workers,
+                cache=self.cache,
             )
         except ReproError as exc:
             return self._error(exc)
@@ -302,6 +346,20 @@ class ReplSession:
                 return "ERROR (sql): workers must be >= 1"
             self.workers = value
             return f"workers is {value}"
+        if name == "cache":
+            from .cache import CACHE_MODES
+
+            value = argument.lower()
+            if value in ("none", "default", ""):
+                self.cache = None
+                return "cache follows the database default"
+            if value not in CACHE_MODES:
+                return (
+                    f"ERROR (sql): unknown cache mode {argument!r} "
+                    f"(one of: {', '.join(CACHE_MODES)})"
+                )
+            self.cache = value
+            return f"cache is {value}"
         return f"ERROR (sql): unknown setting {name!r}"
 
     def _set_inject_fault(self, argument: str) -> str:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from .cache import CacheConfig, CacheManager, result_footprint, statement_key
 from .catalog import (
     Catalog,
     DistributionPolicy,
@@ -61,6 +62,7 @@ class Database:
         num_segments: int = 4,
         cost_model: CostModel | None = None,
         workers: int = 1,
+        cache: str | CacheConfig | CacheManager | None = None,
     ):
         from .storage import StorageManager
 
@@ -70,6 +72,20 @@ class Database:
         self.workers = workers
         self.catalog = Catalog()
         self.storage = StorageManager(self.catalog, num_segments)
+        #: the instance's :class:`~repro.cache.CacheManager`.  ``cache``
+        #: sets the default mode ('off' | 'partitions' | 'results') or
+        #: passes a full config/manager; per-query override via
+        #: ``sql(..., cache=...)``.  Storage mutations feed its
+        #: partition-scoped invalidation whatever the mode.
+        if isinstance(cache, CacheManager):
+            self.cache = cache
+        elif isinstance(cache, CacheConfig):
+            self.cache = CacheManager(cache)
+        else:
+            self.cache = CacheManager(
+                CacheConfig(mode=cache) if cache is not None else None
+            )
+        self.storage.add_mutation_listener(self.cache.on_mutation)
         #: optimizer statistics (ANALYZE results) — renamed from ``stats``
         #: so :meth:`stats` can surface the cumulative query-stats store
         self.statistics = StatsRegistry()
@@ -239,9 +255,17 @@ class Database:
         trace: bool = False,
         lower_selectors: bool = False,
         workers: int | None = None,
+        cache: str | None = None,
         **options,
     ) -> ExecutionResult:
         """Parse, plan and execute one statement.
+
+        ``cache`` overrides the Database-level cache mode for this query:
+        ``'off'``, ``'partitions'`` (replay partition-selector OID sets for
+        repeat statements), or ``'results'`` (additionally serve repeat
+        SELECTs from cached result sets).  Cached entries are keyed by
+        fingerprint + literal/parameter values + plan options and
+        invalidated per touched partition by DML (see docs/caching.md).
 
         ``workers`` sets the segment-scheduler pool size for this query
         (``None`` uses the Database default, normally 1 = serial).  With
@@ -273,6 +297,19 @@ class Database:
         :class:`~repro.resilience.CancelToken` whose :meth:`cancel` makes
         the next checkpoint raise :class:`~repro.errors.QueryCancelled`).
         """
+        mode = self.cache.resolve_mode(cache)
+        session = None
+        if mode != "off":
+            key = self._statement_key(
+                query, params, optimizer, lower_selectors, options
+            )
+            if mode == "results":
+                entry = self.cache.lookup_result(key)
+                if entry is not None:
+                    result = self._cached_result(key, mode, entry)
+                    self.query_stats.record(query, result)
+                    return result
+            session = self.cache.begin(key, mode)
         tracer = Tracer() if trace else None
         with obs_trace.activate(tracer):
             result = self._sql(
@@ -285,6 +322,7 @@ class Database:
                 ),
                 lower_selectors,
                 workers,
+                session,
                 **options,
             )
         if tracer is not None:
@@ -293,6 +331,34 @@ class Database:
             result.metrics.record_optimizer(tracer.optimizer.summary())
         self.query_stats.record(query, result)
         return result
+
+    def _statement_key(
+        self,
+        query: str,
+        params: Sequence[Any] | None,
+        optimizer: str,
+        lower_selectors: bool,
+        options: dict,
+    ):
+        """The cache key for one execution.  Optimizer options change plan
+        shape (and with it part_scan_id assignment), so they fold into the
+        key's optimizer tag."""
+        tag = optimizer
+        if options:
+            tag = f"{optimizer}|{sorted(options.items())!r}"
+        return statement_key(query, params, tag, lower_selectors)
+
+    def _cached_result(self, key, mode: str, entry) -> ExecutionResult:
+        """Serve one SELECT from the result cache (no execution)."""
+        from .obs import MetricsCollector
+
+        metrics = MetricsCollector(self.num_segments)
+        session = self.cache.begin(key, mode, lookup=False)
+        session.result_outcome = "hit"
+        metrics.record_cache(session.summary())
+        return ExecutionResult(
+            list(entry.rows), list(entry.column_names), metrics, 0.0
+        )
 
     def _sql(
         self,
@@ -303,6 +369,7 @@ class Database:
         limits: QueryLimits,
         lower_selectors: bool,
         workers: int | None = None,
+        session=None,
         **options,
     ) -> ExecutionResult:
         with obs_trace.span("parse"):
@@ -327,12 +394,15 @@ class Database:
                     )
                 plan = self._lower(plan, lower_selectors)
                 with obs_trace.span("execute"):
+                    # The selection cache still applies to the source
+                    # SELECT; results are never cached for DML statements.
                     selected = self.executor.execute(
                         plan,
                         params,
                         analyze=analyze,
                         limits=limits,
                         workers=workers,
+                        cache=session,
                     )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
@@ -357,9 +427,29 @@ class Database:
         )
         plan = self._lower(plan, lower_selectors)
         with obs_trace.span("execute"):
-            return self.executor.execute(
-                plan, params, analyze=analyze, limits=limits, workers=workers
+            result = self.executor.execute(
+                plan,
+                params,
+                analyze=analyze,
+                limits=limits,
+                workers=workers,
+                cache=session,
             )
+        if session is not None and session.results_active:
+            # Commit the result set with its invalidation footprint: the
+            # leaf partitions the run actually opened, per root table
+            # (None = whole-table for unpartitioned scans).  DML plans
+            # yield no footprint and are never cached.
+            footprint = result_footprint(
+                plan.root, result.metrics.tracker.partitions
+            )
+            if footprint is not None:
+                session.result_outcome = "miss"
+                session.commit_result(
+                    result.rows, result.column_names, footprint
+                )
+                result.metrics.record_cache(session.summary())
+        return result
 
     def _lower(self, plan: Plan, lower_selectors: bool) -> Plan:
         """The lower lifecycle phase: finalize the plan into its

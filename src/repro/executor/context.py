@@ -58,6 +58,7 @@ class ExecContext:
         limits: QueryLimits | None = None,
         workers: int = 1,
         motion_queue_capacity: int | None = None,
+        cache=None,
     ):
         self.catalog = catalog
         self.storage = storage
@@ -77,6 +78,9 @@ class ExecContext:
         #: slice-at-a-time schedule attaches no streaming consumer, so a
         #: bound that fills raises rather than blocks — see queues.py)
         self.motion_queue_capacity = motion_queue_capacity
+        #: the statement's :class:`~repro.cache.CacheSession` (None = cache
+        #: off): PartitionSelector iterators ask it for replay OID sets
+        self.cache = cache
 
     @property
     def tracker(self) -> ScanTracker:

@@ -154,12 +154,17 @@ class MppExecutor:
         analyze: bool = False,
         limits: QueryLimits | None = None,
         workers: int | None = None,
+        cache=None,
     ) -> ExecutionResult:
         """Run the plan; ``analyze=True`` additionally collects per-node
         wall-clock timings (row and partition counters are always on).
         ``limits`` attaches the per-query guardrails (timeout, buffered-row
         budget, cancellation).  ``workers`` overrides the executor's
-        default pool size for this query (1 = serial)."""
+        default pool size for this query (1 = serial).  ``cache`` is the
+        statement's :class:`~repro.cache.CacheSession` (None = cache off):
+        PartitionSelector iterators replay its remembered OID sets, and on
+        a successful cache-miss run the closed channels are harvested into
+        a new entry."""
         plan.validate()
         resolved_workers = self.workers if workers is None else workers
         if resolved_workers < 1:
@@ -179,6 +184,7 @@ class MppExecutor:
             faults=self.faults,
             limits=limits,
             workers=resolved_workers,
+            cache=cache,
         )
         with SegmentScheduler(resolved_workers) as scheduler:
             # Slice k (k >= 1) is the subtree below the k-th Motion in
@@ -217,6 +223,13 @@ class MppExecutor:
             )
         limits.check()
         elapsed = time.perf_counter() - started
+        if cache is not None:
+            # Successful run: on a miss, snapshot the closed OID channels
+            # into a selection entry (epoch-guarded commit — a DML that
+            # raced this execution makes the store a no-op), then attach
+            # the schema-v5 "cache" section.
+            cache.harvest(plan.root, ctx.channels.channels())
+            metrics.record_cache(cache.summary())
         metrics.record_fault_points(ctx.faults.snapshot())
         metrics.record_segment_health(self.storage.health.status())
         metrics.finish(elapsed)

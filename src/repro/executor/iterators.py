@@ -317,6 +317,30 @@ def _partition_selector_iter(
     spec = op.spec
     channel = ctx.channel(spec.part_scan_id, segment)
     child = op.children[0] if op.children else None
+
+    cache = ctx.cache
+    if cache is not None:
+        cached = cache.cached_oids(spec.part_scan_id, segment)
+        if cached is not None:
+            # Cache replay: the session holds this instance's OID set from
+            # an identical earlier statement (same fingerprint, literals,
+            # params and plan options — see repro.cache.keys), so skip
+            # compiling and evaluating the selector program entirely and
+            # push the remembered set.  Child rows still stream unchanged:
+            # only selection work is short-circuited, never data flow.
+            ctx.metrics.node(op).part_scan_id = spec.part_scan_id
+            ctx.metrics.record_selector(
+                spec.part_scan_id, "cached", spec.table.num_leaves
+            )
+            for oid in cached:
+                partition_propagation(ctx, spec.part_scan_id, segment, oid)
+            if ctx.faults.active:
+                ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
+            channel.close()
+            if child is not None:
+                yield from build_iterator(child, segment, ctx)
+            return
+
     child_layout = child.output_layout() if child is not None else None
     program = _SelectorProgram(spec, child_layout, ctx.params)
     ctx.metrics.node(op).part_scan_id = spec.part_scan_id

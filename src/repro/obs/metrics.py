@@ -36,7 +36,11 @@ from typing import Any, Iterator
 #: v4: additive "parallel" section (worker count, mode, per-(slice,
 #: segment) instance wall times and the overlap ratio across them — see
 #: docs/parallelism.md); every v3 field is unchanged.
-METRICS_SCHEMA_VERSION = 4
+#: v5: additive "cache" section (null unless the query ran with a cache
+#: session): mode, per-query selector/result outcomes, and cumulative
+#: hits/misses/invalidations/bytes — see docs/caching.md; every v4 field
+#: is unchanged.
+METRICS_SCHEMA_VERSION = 5
 
 
 class ScanTracker:
@@ -242,6 +246,9 @@ class MetricsCollector:
         self.trace_summary: dict | None = None
         #: OptimizerEventLog.summary() snapshot: search statistics
         self.optimizer_summary: dict | None = None
+        # caching (schema v5) — populated only when a cache session ran
+        #: CacheSession.summary() snapshot: mode, outcomes, totals
+        self.cache_summary: dict | None = None
 
     # -- plan registration --------------------------------------------------
 
@@ -488,6 +495,15 @@ class MetricsCollector:
         (:meth:`OptimizerEventLog.summary`)."""
         self.optimizer_summary = summary
 
+    # -- caching (schema v5) ---------------------------------------------------
+
+    def record_cache(self, summary: dict) -> None:
+        """Attach the statement's cache-session summary
+        (:meth:`~repro.cache.CacheSession.summary`); the engine re-records
+        after a result-cache commit so the section reflects the final
+        outcome."""
+        self.cache_summary = summary
+
     @property
     def retry_count(self) -> int:
         return len(self.retries)
@@ -592,6 +608,7 @@ class MetricsCollector:
             "trace": self.trace_summary,
             "optimizer": self.optimizer_summary,
             "parallel": self.parallel_stats(),
+            "cache": self.cache_summary,
         }
 
     def to_json(self, indent: int | None = None) -> str:

@@ -35,6 +35,9 @@ class StorageManager:
         self.num_segments = num_segments
         self.health = health if health is not None else SegmentHealth(num_segments)
         self._stores: dict[int, TableStore] = {}
+        #: mutation subscribers ``fn(root_oid, leaf_oids | None)`` — every
+        #: table's writes fan out here (the cache layer's invalidation feed)
+        self._mutation_listeners: list = []
         #: simulated per-read I/O latency in seconds (0.0 = off).  Each
         #: ``scan_table``/``scan_leaf`` call sleeps this long before its
         #: first row — modelling the seek a real segment pays per
@@ -49,11 +52,23 @@ class StorageManager:
                 f"storage for table {descriptor.name!r} already exists"
             )
         store = TableStore(descriptor, self.num_segments, health=self.health)
+        store.on_mutation = self._notify_mutation
         self._stores[descriptor.oid] = store
         return store
 
     def unregister(self, descriptor: TableDescriptor) -> None:
         self._stores.pop(descriptor.oid, None)
+        # dropping a table is a whole-table mutation for subscribers
+        self._notify_mutation(descriptor.oid, None)
+
+    def add_mutation_listener(self, listener) -> None:
+        """Subscribe ``fn(root_oid, leaf_oids | None)`` to every write on
+        every registered table (``leaf_oids=None`` = whole table)."""
+        self._mutation_listeners.append(listener)
+
+    def _notify_mutation(self, root_oid: int, leaf_oids) -> None:
+        for listener in self._mutation_listeners:
+            listener(root_oid, leaf_oids)
 
     def store(self, root_oid: int) -> TableStore:
         try:

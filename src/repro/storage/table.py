@@ -52,6 +52,11 @@ class TableStore:
         self._mirror: list[dict[int, list[tuple]]] = [
             {} for _ in range(num_segments)
         ]
+        #: mutation hook ``fn(root_oid, leaf_oids | None)`` — set by the
+        #: StorageManager; fires after every write with the touched leaf
+        #: OIDs (``None`` = whole table: truncate, unpartitioned target).
+        #: The cache layer's partition-scoped invalidation hangs off this.
+        self.on_mutation = None
 
     # -- writes -----------------------------------------------------------
 
@@ -61,6 +66,25 @@ class TableStore:
         Raises :class:`PartitionError` when the row maps to the invalid
         partition ⊥ — no partition accepts its key values.
         """
+        oid = self._insert_row(row)
+        self._notify(frozenset((oid,)) if self.descriptor.is_partitioned else None)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        """Bulk insert, batching the mutation notification: one event
+        carrying every touched leaf, not one per row."""
+        count = 0
+        touched: set[int] = set()
+        partitioned = self.descriptor.is_partitioned
+        try:
+            for row in rows:
+                touched.add(self._insert_row(row))
+                count += 1
+        finally:
+            if count:
+                self._notify(frozenset(touched) if partitioned else None)
+        return count
+
+    def _insert_row(self, row: Sequence) -> int:
         desc = self.descriptor
         validated = desc.schema.validate_row(row)
         if desc.is_partitioned:
@@ -76,13 +100,11 @@ class TableStore:
         for seg in self._target_segments(validated):
             self._rows[seg].setdefault(oid, []).append(validated)
             self._mirror[seg].setdefault(oid, []).append(validated)
+        return oid
 
-    def insert_many(self, rows: Iterable[Sequence]) -> int:
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+    def _notify(self, leaf_oids: frozenset | None) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation(self.descriptor.oid, leaf_oids)
 
     def _target_segments(self, row: tuple) -> range | list[int]:
         dist = self.descriptor.distribution
@@ -96,6 +118,7 @@ class TableStore:
             seg_rows.clear()
         for seg_rows in self._mirror:
             seg_rows.clear()
+        self._notify(None)
 
     def delete_from_leaf(self, segment: int, oid: int, rows: list[tuple]) -> None:
         """Remove specific rows (used by UPDATE's delete-then-insert)."""
@@ -105,6 +128,9 @@ class TableStore:
                 continue
             for row in rows:
                 bucket.remove(row)
+        self._notify(
+            frozenset((oid,)) if self.descriptor.is_partitioned else None
+        )
 
     # -- reads --------------------------------------------------------------
 

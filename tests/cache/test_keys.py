@@ -1,0 +1,133 @@
+"""The cache-key contract: fingerprint + normalized literal vector.
+
+``fingerprint()`` deliberately erases literal values so statement *shapes*
+aggregate in ``\\stats``.  A cache reusing OID sets across different
+constants would be unsound (the PR 2 seed-bug shape: same IN-list shape,
+different dates, different partitions).  These tests pin the contract that
+:class:`~repro.cache.StatementKey` adds back everything the fingerprint
+erased — literal values, parameter values, and the plan-shaping options.
+"""
+
+from __future__ import annotations
+
+from repro.cache import StatementKey, normalized_literals, statement_key
+from repro.obs import fingerprint
+
+
+# ---------------------------------------------------------------------------
+# sharing: formatting never splits a key
+# ---------------------------------------------------------------------------
+
+
+def test_same_statement_same_key():
+    q = "SELECT count(*) FROM orders WHERE date = '05-15-2013'"
+    assert statement_key(q) == statement_key(q)
+
+
+def test_whitespace_and_case_do_not_split_keys():
+    a = statement_key("SELECT * FROM t WHERE a = 42")
+    b = statement_key("select *   from T\nwhere A=42")
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# distinctness: anything that can change the answer splits the key
+# ---------------------------------------------------------------------------
+
+
+def test_number_literal_value_splits_key():
+    a = statement_key("SELECT * FROM t WHERE a = 42")
+    b = statement_key("SELECT * FROM t WHERE a = 99")
+    assert a.fingerprint == b.fingerprint  # same shape for \stats...
+    assert a != b  # ...but never the same cache entry
+
+
+def test_date_literal_in_list_splits_key():
+    """The PR 2 seed-bug shape: identical IN-list fingerprints whose date
+    values select different partition OID sets."""
+    a = "SELECT count(*) FROM orders WHERE date IN ('05-15-2013', '06-15-2013')"
+    b = "SELECT count(*) FROM orders WHERE date IN ('01-01-2012', '02-01-2012')"
+    assert fingerprint(a) == fingerprint(b)
+    assert statement_key(a) != statement_key(b)
+
+
+def test_in_list_arity_splits_key():
+    a = "SELECT 1 FROM orders WHERE date IN ('05-15-2013')"
+    b = "SELECT 1 FROM orders WHERE date IN ('05-15-2013', '06-15-2013')"
+    assert statement_key(a) != statement_key(b)
+
+
+def test_param_values_split_key():
+    q = "SELECT * FROM t WHERE a = $1"
+    assert statement_key(q, params=[1]) != statement_key(q, params=[2])
+
+
+def test_param_types_split_key():
+    """``1`` (int), ``1.0`` (float) and ``'1'`` (str) never collide."""
+    q = "SELECT * FROM t WHERE a = $1"
+    keys = {
+        statement_key(q, params=[1]),
+        statement_key(q, params=[1.0]),
+        statement_key(q, params=["1"]),
+    }
+    assert len(keys) == 3
+
+
+def test_string_vs_number_literal_never_collide():
+    a = statement_key("SELECT * FROM t WHERE a = '42'")
+    b = statement_key("SELECT * FROM t WHERE a = 42")
+    assert a != b
+
+
+def test_plan_shaping_options_split_key():
+    q = "SELECT count(*) FROM orders WHERE date = '05-15-2013'"
+    base = statement_key(q)
+    assert statement_key(q, optimizer="planner") != base
+    assert statement_key(q, lowered=True) != base
+
+
+# ---------------------------------------------------------------------------
+# the literal vector itself
+# ---------------------------------------------------------------------------
+
+
+def test_normalized_literals_in_token_order():
+    lits = normalized_literals(
+        "SELECT 7 FROM t WHERE a = 'x' AND b IN (1, 2)"
+    )
+    assert len(lits) == 4
+    assert lits[0].startswith("NUMBER:")
+    assert lits[1].startswith("STRING:")
+    assert lits[2].startswith("NUMBER:") and lits[3].startswith("NUMBER:")
+
+
+def test_identifiers_and_params_are_not_literals():
+    assert normalized_literals("SELECT a, b FROM t WHERE a = $1") == ()
+
+
+def test_unlexable_statement_falls_back_to_raw_text():
+    lits = normalized_literals("NOT \x00 SQL  AT\tALL")
+    assert lits == ("RAW:NOT \x00 SQL AT ALL",)
+    # two different unlexable statements never share a key
+    assert statement_key("garbage \x00 one") != statement_key(
+        "garbage \x00 two"
+    )
+    # ...but the same unlexable statement still caches consistently
+    assert statement_key("garbage \x00 one") == statement_key(
+        "garbage  \x00   one"
+    )
+
+
+def test_key_is_hashable_and_describe_is_short():
+    key = statement_key(
+        "SELECT count(*) FROM orders WHERE date IN "
+        "('05-15-2013', '06-15-2013', '07-15-2013') AND region = $1",
+        params=["emea"],
+    )
+    assert isinstance(key, StatementKey)
+    assert hash(key) == hash(key)
+    text = key.describe()
+    assert "3 literal(s)" in text
+    assert "1 param(s)" in text
+    # fingerprint part is truncated for the \cache view
+    assert len(text.split(" [")[0]) <= 48

@@ -1,0 +1,268 @@
+"""The partition-selection cache: entries, LRU/byte bounds, invalidation,
+and the engine-level selector bypass."""
+
+from __future__ import annotations
+
+from repro import Database
+from repro import types as t
+from repro.cache import (
+    PartitionSelectionCache,
+    SelectionEntry,
+    statement_key,
+)
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    uniform_int_level,
+)
+
+
+def _key(i: int):
+    return statement_key(f"SELECT * FROM t WHERE a = {i}")
+
+
+def _entry(i: int, oids=(101, 102), scoped_oid=50, volatile=()):
+    return SelectionEntry(
+        _key(i),
+        selections={7: {0: tuple(oids), 1: tuple(oids)}},
+        scoped={scoped_oid: frozenset(oids)},
+        volatile=frozenset(volatile),
+    )
+
+
+# ---------------------------------------------------------------------------
+# SelectionEntry semantics
+# ---------------------------------------------------------------------------
+
+
+def test_entry_replays_per_selector_instance():
+    entry = _entry(1, oids=(101, 103))
+    assert entry.oids(7, 0) == (101, 103)
+    assert entry.oids(7, 1) == (101, 103)
+    assert entry.oids(7, 2) is None  # unknown segment: evaluate normally
+    assert entry.oids(9, 0) is None  # unknown selector: evaluate normally
+    assert entry.tables() == frozenset({50})
+
+
+def test_scoped_invalidation_is_partition_intersecting():
+    entry = _entry(1, oids=(101, 102), scoped_oid=50)
+    # DML into a cached partition stales the entry...
+    assert entry.stale_after(50, frozenset({102}))
+    # ...DML into an unselected partition of the same table does not...
+    assert not entry.stale_after(50, frozenset({104}))
+    # ...whole-table events (truncate, drop) always stale it...
+    assert entry.stale_after(50, None)
+    # ...and other tables never do.
+    assert not entry.stale_after(60, frozenset({102}))
+
+
+def test_volatile_tables_stale_unconditionally():
+    entry = _entry(1, volatile=(60,))
+    assert entry.stale_after(60, frozenset({999}))
+    assert entry.stale_after(60, None)
+
+
+def test_entry_size_counts_oids():
+    small = _entry(1, oids=(101,))
+    big = _entry(2, oids=tuple(range(100, 164)))
+    assert big.size_bytes > small.size_bytes
+
+
+# ---------------------------------------------------------------------------
+# LRU + byte bounds
+# ---------------------------------------------------------------------------
+
+
+def test_lru_entry_bound_evicts_oldest():
+    cache = PartitionSelectionCache(max_entries=2, max_bytes=1 << 20)
+    cache.store(_entry(1))
+    cache.store(_entry(2))
+    cache.store(_entry(3))
+    assert len(cache) == 2
+    assert cache.peek(_key(1)) is None  # oldest evicted
+    assert cache.peek(_key(3)) is not None
+    assert cache.stats.evictions == 1
+
+
+def test_lru_get_refreshes_recency():
+    cache = PartitionSelectionCache(max_entries=2, max_bytes=1 << 20)
+    cache.store(_entry(1))
+    cache.store(_entry(2))
+    assert cache.get(_key(1)) is not None  # 1 becomes the young entry
+    cache.store(_entry(3))
+    assert cache.peek(_key(1)) is not None
+    assert cache.peek(_key(2)) is None  # 2 was the LRU victim
+
+
+def test_byte_bound_evicts_until_it_fits():
+    one = _entry(1)
+    cache = PartitionSelectionCache(
+        max_entries=100, max_bytes=one.size_bytes * 2 + 1
+    )
+    cache.store(_entry(1))
+    cache.store(_entry(2))
+    cache.store(_entry(3))
+    assert len(cache) == 2
+    assert cache.bytes_used <= cache.max_bytes
+
+
+def test_oversized_entry_does_not_wedge_the_cache():
+    tiny = PartitionSelectionCache(max_entries=100, max_bytes=64)
+    tiny.store(_entry(1, oids=tuple(range(100, 200))))
+    assert len(tiny) == 0  # refused by eviction, not stored forever
+    assert tiny.bytes_used == 0
+
+
+def test_restore_same_key_replaces_without_leaking_bytes():
+    cache = PartitionSelectionCache(max_entries=4, max_bytes=1 << 20)
+    cache.store(_entry(1, oids=tuple(range(100, 150))))
+    cache.store(_entry(1, oids=(101,)))
+    assert len(cache) == 1
+    assert cache.bytes_used == _entry(1, oids=(101,)).size_bytes
+
+
+def test_invalidate_drops_only_matching_entries():
+    cache = PartitionSelectionCache(max_entries=10, max_bytes=1 << 20)
+    cache.store(_entry(1, oids=(101,), scoped_oid=50))
+    cache.store(_entry(2, oids=(102,), scoped_oid=50))
+    cache.store(_entry(3, oids=(101,), scoped_oid=60))
+    dropped = cache.invalidate(50, frozenset({101}))
+    assert dropped == 1
+    assert cache.peek(_key(1)) is None
+    assert cache.peek(_key(2)) is not None
+    assert cache.peek(_key(3)) is not None
+    assert cache.stats.invalidations == 1
+
+
+def test_hit_miss_counters():
+    cache = PartitionSelectionCache(max_entries=4, max_bytes=1 << 20)
+    cache.store(_entry(1))
+    assert cache.get(_key(1)) is not None
+    assert cache.get(_key(2)) is None
+    snap = cache.to_dict()
+    assert snap["hits"] == 1 and snap["misses"] == 1
+    assert snap["hit_rate"] == 0.5
+    assert snap["stores"] == 1
+
+
+# ---------------------------------------------------------------------------
+# engine-level: the selector bypass end to end
+# ---------------------------------------------------------------------------
+
+DOMAIN, PARTS = 100, 4
+
+
+def _build_db() -> Database:
+    db = Database(num_segments=2, cache="partitions")
+    db.create_table(
+        "facts",
+        TableSchema.of(("id", t.INT), ("key", t.INT), ("val", t.INT)),
+        distribution=DistributionPolicy.hashed("id"),
+        partition_scheme=PartitionScheme(
+            [uniform_int_level("key", 0, DOMAIN, PARTS)]
+        ),
+    )
+    db.create_table(
+        "dim",
+        TableSchema.of(("key", t.INT), ("grp", t.INT)),
+        distribution=DistributionPolicy.hashed("key"),
+    )
+    db.insert("facts", [(i, i % DOMAIN, i) for i in range(200)])
+    db.insert("dim", [(k, k % 5) for k in range(DOMAIN)])
+    db.analyze()
+    return db
+
+
+HOT = "SELECT count(*), sum(val) FROM facts WHERE key >= 0 AND key <= 20"
+
+
+def test_repeat_query_replays_selection():
+    db = _build_db()
+    first = db.sql(HOT, analyze=True)
+    second = db.sql(HOT, analyze=True)
+    assert first.metrics.cache_summary["selection"] == "miss"
+    assert first.metrics.cache_summary["stored"] is True
+    assert second.metrics.cache_summary["selection"] == "hit"
+    assert second.metrics.cache_summary["selectors_served"] > 0
+    assert second.metrics.cache_summary["selectors_evaluated"] == 0
+    # the replayed selection answers identically and scans the same leaves
+    assert second.rows == first.rows
+    assert (
+        second.metrics.partitions_scanned()
+        == first.metrics.partitions_scanned()
+    )
+
+
+def test_dml_into_selected_partition_invalidates():
+    db = _build_db()
+    db.sql(HOT)
+    assert db.sql(HOT).metrics.cache_summary["selection"] == "hit"
+    db.insert("facts", [(9001, 10, 5)])  # key=10 is inside the cached range
+    after = db.sql(HOT)
+    assert after.metrics.cache_summary["selection"] == "miss"
+    # the re-run sees the inserted row: keys 0..20 appear twice in the
+    # seed data (i and i+100), plus the one just inserted
+    assert after.rows[0][0] == 21 * 2 + 1
+
+
+def test_dml_outside_selection_preserves_entry():
+    db = _build_db()
+    baseline = db.sql(HOT)
+    db.insert("facts", [(9002, 90, 5)])  # partition outside [0, 20]
+    after = db.sql(HOT)
+    assert after.metrics.cache_summary["selection"] == "hit"
+    assert after.rows == baseline.rows
+
+
+def test_dml_on_volatile_join_side_invalidates():
+    db = _build_db()
+    sql = (
+        "SELECT count(*) FROM facts f, dim d "
+        "WHERE f.key = d.key AND d.grp = 3"
+    )
+    db.sql(sql)
+    assert db.sql(sql).metrics.cache_summary["selection"] == "hit"
+    # dim's rows drive the dynamic selection: any dim DML drops the entry
+    db.insert("dim", [(1000, 3)])
+    assert db.sql(sql).metrics.cache_summary["selection"] == "miss"
+
+
+def test_lowered_plans_are_never_cached():
+    db = _build_db()
+    first = db.sql(HOT, lower_selectors=True)
+    second = db.sql(HOT, lower_selectors=True)
+    assert first.metrics.cache_summary["stored"] is False
+    assert second.metrics.cache_summary["selection"] == "miss"
+    # and the lowered key never collides with the normal-path entry
+    db.sql(HOT)
+    assert db.sql(HOT, lower_selectors=True).metrics.cache_summary[
+        "selection"
+    ] == "miss"
+
+
+def test_different_literals_get_distinct_entries():
+    db = _build_db()
+    a = "SELECT count(*) FROM facts WHERE key >= 0 AND key <= 20"
+    b = "SELECT count(*) FROM facts WHERE key >= 80 AND key <= 99"
+    db.sql(a)
+    db.sql(b)
+    assert len(db.cache.partitions) == 2
+    ra, rb = db.sql(a), db.sql(b)
+    assert ra.metrics.cache_summary["selection"] == "hit"
+    assert rb.metrics.cache_summary["selection"] == "hit"
+    assert ra.rows != rb.rows
+
+
+def test_cache_off_mode_bypasses_everything():
+    db = _build_db()
+    result = db.sql(HOT, cache="off")
+    assert result.metrics.cache_summary is None
+    assert len(db.cache.partitions) == 0
+
+
+def test_explain_analyze_shows_cache_line():
+    db = _build_db()
+    db.sql(HOT)
+    text = db.sql(HOT, analyze=True).explain_analyze()
+    assert "Cache: mode=partitions, selection hit" in text

@@ -176,6 +176,52 @@ def test_explain_trace_statement(session):
     assert "actual rows" not in output
 
 
+def test_set_cache_and_cache_meta_command(session):
+    # default: session follows the database default (off)
+    out = session.handle_line("\\cache")
+    assert out.startswith("session cache mode: off")
+    assert "partitions" in out and "results" in out
+
+    assert "cache is partitions" in session.handle_line("SET cache partitions;")
+    query = "SELECT count(*) FROM orders WHERE date = '05-15-2013';"
+    cold = session.handle_line(query)
+    warm = session.handle_line(query)
+    # the cache never changes what the shell prints (cache-on/off diffable)
+    assert warm == cold
+    view = session.handle_line("\\cache")
+    assert "session cache mode: partitions" in view
+    assert "cached statements" in view
+    prom = session.handle_line("\\cache prometheus")
+    assert "# TYPE repro_cache_hits_total counter" in prom
+    assert 'repro_cache_entries{cache="partitions"} 1' in prom
+
+    # \stats surfaces the cache totals next to the query statistics
+    stats = session.handle_line("\\stats")
+    assert "hits" in stats and "\\cache for detail" in stats
+    assert "repro_cache_hits_total" in session.handle_line("\\stats prometheus")
+
+    assert "1 entries dropped" in session.handle_line("\\cache clear")
+    assert "usage: \\cache" in session.handle_line("\\cache bogus")
+
+    assert "ERROR (sql)" in session.handle_line("SET cache sideways;")
+    assert "cache is off" in session.handle_line("SET cache off;")
+    assert "database default" in session.handle_line("SET cache default;")
+
+
+def test_cache_results_mode_in_shell(session):
+    session.handle_line("SET cache results;")
+    query = "SELECT count(*) FROM orders WHERE date = '05-15-2013';"
+    cold = session.handle_line(query)
+    warm = session.handle_line(query)
+    assert warm.splitlines()[:2] == cold.splitlines()[:2]  # identical rows
+    # DML invalidates: the count the shell shows moves with the data
+    session.handle_line(
+        "INSERT INTO orders VALUES (99001, 10.0, '05-15-2013');"
+    )
+    after = session.handle_line(query)
+    assert after != warm
+
+
 def test_stats_meta_command(session):
     session.handle_line("SELECT count(*) FROM orders;")
     session.handle_line("SELECT count(*) FROM orders;")

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import re
 
+from repro.cache import statement_key
 from repro.obs import QueryStatsStore, fingerprint
 
 # one sample line: name{query="..."} value
@@ -39,6 +40,51 @@ def test_fingerprint_keeps_parameters_distinct():
 def test_fingerprint_survives_unlexable_input():
     # must never raise — falls back to whitespace-collapsed lowercase
     assert fingerprint("NOT \x00 SQL  AT\tALL") == "not \x00 sql at all"
+
+
+# ---------------------------------------------------------------------------
+# fingerprint vs cache key: aggregation identity is NOT cache identity
+# ---------------------------------------------------------------------------
+#
+# The fingerprint's literal erasure is correct for \stats aggregation and
+# would be a seed bug if reused as a cache key: two statements sharing a
+# fingerprint can select entirely different partition OID sets.  The cache
+# keys on fingerprint + normalized literal/parameter vectors instead
+# (src/repro/cache/keys.py); these regressions pin the boundary.
+
+
+def test_date_in_lists_share_fingerprint_but_not_cache_key():
+    # the PR 2 seed-bug shape: same IN-list shape, different date literals,
+    # different partition OID sets
+    a = "SELECT count(*) FROM orders WHERE date IN ('05-15-2013', '06-15-2013')"
+    b = "SELECT count(*) FROM orders WHERE date IN ('01-01-2012', '02-01-2012')"
+    assert fingerprint(a) == fingerprint(b)
+    assert statement_key(a) != statement_key(b)
+
+
+def test_param_values_share_fingerprint_but_not_cache_key():
+    q = "SELECT count(*) FROM orders WHERE date = $1"
+    assert fingerprint(q) == fingerprint(q)
+    assert statement_key(q, params=["05-15-2013"]) != statement_key(
+        q, params=["01-01-2012"]
+    )
+
+
+def test_cache_key_still_aggregates_under_the_fingerprint(orders_db):
+    """Different literal values = one \\stats entry, two cache entries."""
+    store = orders_db.stats()
+    store.reset()
+    orders_db.cache.clear()
+    a = "SELECT count(*) FROM orders WHERE date = '05-15-2013'"
+    b = "SELECT count(*) FROM orders WHERE date = '07-04-2012'"
+    orders_db.sql(a, cache="partitions")
+    orders_db.sql(b, cache="partitions")
+    assert len(store) == 1  # \stats aggregates the shape
+    assert len(orders_db.cache.partitions) == 2  # the cache does not
+    # and the two entries cache different partition OID sets — reusing
+    # one for the other would scan the wrong month
+    entries = [entry for _, entry in orders_db.cache.partitions.items()]
+    assert entries[0].scoped != entries[1].scoped
 
 
 # ---------------------------------------------------------------------------
