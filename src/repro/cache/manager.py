@@ -271,6 +271,10 @@ class CacheSession:
         #: filled by the engine on the result-cache path
         self.result_outcome: str | None = None
         self.stored = False
+        #: set when the execution failed (timeout, cancel, segment death);
+        #: an aborted session refuses every store — partial channel
+        #: contents must never become a cache entry
+        self.aborted = False
 
     @property
     def selection_active(self) -> bool:
@@ -300,11 +304,23 @@ class CacheSession:
                 self.selectors_served += 1
         return oids
 
+    def abort(self) -> None:
+        """Poison the session after a failed execution.  The executor
+        calls this on *any* error escaping a run (QueryTimeout,
+        QueryCancelled, SegmentFailure past its retries, ...): whatever
+        channel state the run left behind — closed-but-incomplete, open,
+        or missing whole slices — is unsafe to cache, so every later
+        :meth:`harvest` / :meth:`commit_result` becomes a no-op."""
+        with self._lock:
+            self.aborted = True
+
     def harvest(self, plan_root: phys.PhysicalOp, channels) -> bool:
         """After a successful cache-miss execution: snapshot every closed
         partition-OID channel into a :class:`SelectionEntry`, classify the
         plan's tables, and commit (epoch-guarded).  Returns True when an
         entry was stored."""
+        if self.aborted:
+            return False
         if not self.selection_active or self.entry is not None:
             return False
         if self.key.lowered:
@@ -352,6 +368,8 @@ class CacheSession:
         column_names: Sequence[str],
         footprint: Mapping[int, frozenset[int] | None],
     ) -> bool:
+        if self.aborted:
+            return False
         entry = ResultEntry(self.key, rows, column_names, footprint)
         stored = self.manager.commit_result(self, entry)
         if stored:

@@ -47,6 +47,9 @@ Meta commands:
                      and the cached statements
   \\cache prometheus  the cache counters in Prometheus text format
   \\cache clear       drop every cached entry
+  \\sessions          serving-tier sessions and admission state (with a
+                     running server; \\stats prometheus then also emits
+                     the repro_serving_* families)
   \\help              this text
   \\q                 quit
 SET statements configure the session:
@@ -80,8 +83,13 @@ _SET_RE = re.compile(r"^set\s+(\w+)\b(.*)$", re.IGNORECASE | re.DOTALL)
 class ReplSession:
     """State and command handling for one interactive session."""
 
-    def __init__(self, db: Database | None = None):
+    def __init__(self, db: Database | None = None, serving_session=None):
         self.db = db or Database(num_segments=4)
+        #: when set (the ``--serve`` network mode, or tests), SQL routes
+        #: through this :class:`~repro.serving.Session` — admission
+        #: control, the shared worker pool, per-session fault scope —
+        #: instead of calling :meth:`Database.sql` directly
+        self.serving_session = serving_session
         self.optimizer = ORCA
         self.timing = False
         self.done = False
@@ -158,6 +166,8 @@ class ReplSession:
             return self._stats(argument)
         if name == "\\cache":
             return self._cache(argument)
+        if name == "\\sessions":
+            return self._sessions()
         return f"unknown command {name!r}; try \\help"
 
     def _stats(self, argument: str) -> str:
@@ -179,9 +189,52 @@ class ReplSession:
             store.reset()
             return "query statistics reset"
         if argument.lower() == "prometheus":
-            # one scrape body: query stats plus the cache families
-            return store.to_prometheus() + cache.to_prometheus()
+            # one scrape body: query stats, cache families, and — when a
+            # server is running — the repro_serving_* families
+            body = store.to_prometheus() + cache.to_prometheus()
+            server = self.db._server
+            if server is not None and not server.closed:
+                body += server.to_prometheus()
+            return body
         return "usage: \\stats [reset | prometheus]"
+
+    def _sessions(self) -> str:
+        """``\\sessions`` — the serving tier's sessions and admission
+        state (requires a running server, i.e. ``Database.serve()``)."""
+        server = self.db._server
+        if server is None or server.closed:
+            return "no server running (Database.serve() starts one)"
+        snapshot = server.stats_dict()
+        admission = snapshot["admission"]
+        rejected = admission["rejected"]
+        lines = [
+            f"serving: {admission['inflight']} in flight, "
+            f"{admission['queue_depth']} queued, "
+            f"{admission['admitted']} admitted, "
+            f"{sum(rejected.values())} rejected "
+            f"(full={rejected['queue_full']}, "
+            f"timeout={rejected['queue_timeout']}), "
+            f"{admission['degraded_grants']} degraded grants",
+        ]
+        if not snapshot["open_sessions"]:
+            lines.append("no open sessions")
+            return "\n".join(lines)
+        lines.append(
+            f"{'session':<16} {'inflight':>8} {'submitted':>9} "
+            f"{'admitted':>8} {'rejected':>8} {'p50 ms':>8} {'p99 ms':>8}"
+        )
+        latency = snapshot["latency"]
+        for name in sorted(snapshot["open_sessions"]):
+            counters = snapshot["open_sessions"][name]
+            quantiles = latency.get(name, {"p50_s": 0.0, "p99_s": 0.0})
+            lines.append(
+                f"{name:<16} {counters['inflight']:>8} "
+                f"{counters['submitted']:>9} {counters['admitted']:>8} "
+                f"{counters['rejected']:>8} "
+                f"{quantiles['p50_s'] * 1000:>8.2f} "
+                f"{quantiles['p99_s'] * 1000:>8.2f}"
+            )
+        return "\n".join(lines)
 
     def _cache(self, argument: str) -> str:
         manager = self.db.cache
@@ -275,14 +328,24 @@ class ReplSession:
                 self.errors += 1
             return output
         try:
-            result = self.db.sql(
-                sql,
-                optimizer=self.optimizer,
-                timeout=self.timeout_seconds,
-                max_rows=self.max_rows,
-                workers=self.workers,
-                cache=self.cache,
-            )
+            if self.serving_session is not None:
+                result = self.serving_session.sql(
+                    sql,
+                    optimizer=self.optimizer,
+                    timeout=self.timeout_seconds,
+                    max_rows=self.max_rows,
+                    workers=self.workers,
+                    cache=self.cache,
+                )
+            else:
+                result = self.db.sql(
+                    sql,
+                    optimizer=self.optimizer,
+                    timeout=self.timeout_seconds,
+                    max_rows=self.max_rows,
+                    workers=self.workers,
+                    cache=self.cache,
+                )
         except ReproError as exc:
             return self._error(exc)
         lines = []
@@ -364,15 +427,23 @@ class ReplSession:
 
     def _set_inject_fault(self, argument: str) -> str:
         """``SET inject_fault POINT [segment=N] [mode=M] [n=K] [skip=K]
-        [transient]`` — or ``SET inject_fault off`` to disarm."""
+        [transient]`` — or ``SET inject_fault off`` to disarm.
+
+        With a serving session attached, faults arm on that session's
+        isolated injector — other sessions' queries never see them."""
+        faults = (
+            self.serving_session.faults
+            if self.serving_session is not None
+            else self.db.faults
+        )
         if not argument:
-            specs = self.db.faults.specs()
+            specs = faults.specs()
             if not specs:
                 return "no faults armed"
             return "\n".join(f"armed: {spec}" for spec in specs)
         words = argument.split()
         if words[0].lower() in ("off", "reset", "none"):
-            self.db.faults.disarm()
+            faults.disarm()
             return "faults disarmed"
         point = words[0].lower()
         if point not in INJECTION_POINTS:
@@ -408,7 +479,7 @@ class ReplSession:
                     return f"ERROR (sql): invalid {key} {value!r}"
             else:
                 return f"ERROR (sql): unknown fault option {key!r}"
-        spec = self.db.faults.arm(point, **kwargs)
+        spec = faults.arm(point, **kwargs)
         return f"armed: {spec}"
 
     def _load_demo(self) -> str:
@@ -498,9 +569,46 @@ def _render(value) -> str:
     return str(value)
 
 
+def serve_main(argv: list[str]) -> int:  # pragma: no cover - network loop
+    """``python -m repro --serve [PORT]`` — the multi-client TCP mode.
+
+    Each connection gets its own REPL over its own serving session; all
+    connections share one database through admission control."""
+    import sys
+
+    from .serving import NetServer
+
+    port = 0
+    if argv:
+        try:
+            port = int(argv[0])
+        except ValueError:
+            print(f"invalid port {argv[0]!r}", file=sys.stderr)
+            return 2
+    db = Database(num_segments=4)
+    server = NetServer(db, port=port).start()
+    print(
+        f"repro serving on {server.host}:{server.port} "
+        "(newline-delimited REPL lines; \\x04 frames responses; Ctrl-C stops)"
+    )
+    try:
+        while True:
+            server._accept_thread.join(timeout=1.0)
+            if not server._accept_thread.is_alive():
+                break
+    except KeyboardInterrupt:
+        print()
+    finally:
+        server.close()
+        server.server.close()
+    return 0
+
+
 def main() -> int:  # pragma: no cover - interactive loop
     import sys
 
+    if len(sys.argv) > 1 and sys.argv[1] == "--serve":
+        return serve_main(sys.argv[2:])
     session = ReplSession()
     interactive = sys.stdin.isatty()
     if interactive:

@@ -107,11 +107,42 @@ class Database:
             retry_policy=self.retry_policy,
             workers=workers,
         )
+        #: the instance's :class:`~repro.serving.QueryServer`, created
+        #: lazily by :meth:`serve` / :meth:`session`
+        self._server = None
 
     @property
     def health(self):
         """The instance's :class:`~repro.resilience.SegmentHealth`."""
         return self.storage.health
+
+    # -- serving --------------------------------------------------------------
+
+    def serve(self, **config):
+        """The instance's concurrent serving front end (created on first
+        use).  ``config`` forwards to
+        :class:`~repro.serving.ServingConfig` — admission caps, queue
+        bounds, shared-pool width — and is only honoured on creation;
+        reconfiguring requires :meth:`~repro.serving.QueryServer.close`
+        first.  See docs/serving.md."""
+        from .serving import QueryServer, ServingConfig
+
+        if self._server is not None and self._server.closed:
+            self._server = None
+        if self._server is None:
+            self._server = QueryServer(self, ServingConfig(**config))
+        elif config:
+            raise ReproError(
+                "server already running; close() it before reconfiguring"
+            )
+        return self._server
+
+    def session(self, **settings):
+        """Open one serving :class:`~repro.serving.Session` against the
+        (lazily created) server: isolated per-session defaults (workers,
+        timeout, max_rows, cache mode, optimizer, fault injector) and a
+        per-session cancel that never touches other sessions' queries."""
+        return self.serve().session(**settings)
 
     # -- DDL / data -----------------------------------------------------------
 
@@ -256,9 +287,18 @@ class Database:
         lower_selectors: bool = False,
         workers: int | None = None,
         cache: str | None = None,
+        faults=None,
+        scheduler=None,
         **options,
     ) -> ExecutionResult:
         """Parse, plan and execute one statement.
+
+        ``faults`` overrides the instance-wide
+        :class:`~repro.resilience.FaultInjector` for this query (serving
+        sessions each carry an isolated one); ``scheduler`` runs the
+        query's segment instances on a caller-owned
+        :class:`~repro.executor.scheduler.SegmentScheduler` — the serving
+        layer's shared worker pool — instead of a per-query pool.
 
         ``cache`` overrides the Database-level cache mode for this query:
         ``'off'``, ``'partitions'`` (replay partition-selector OID sets for
@@ -323,6 +363,8 @@ class Database:
                 lower_selectors,
                 workers,
                 session,
+                faults=faults,
+                scheduler=scheduler,
                 **options,
             )
         if tracer is not None:
@@ -370,6 +412,8 @@ class Database:
         lower_selectors: bool,
         workers: int | None = None,
         session=None,
+        faults=None,
+        scheduler=None,
         **options,
     ) -> ExecutionResult:
         with obs_trace.span("parse"):
@@ -403,6 +447,8 @@ class Database:
                         limits=limits,
                         workers=workers,
                         cache=session,
+                        faults=faults,
+                        scheduler=scheduler,
                     )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
@@ -434,6 +480,8 @@ class Database:
                 limits=limits,
                 workers=workers,
                 cache=session,
+                faults=faults,
+                scheduler=scheduler,
             )
         if session is not None and session.results_active:
             # Commit the result set with its invalidation footprint: the

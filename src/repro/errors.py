@@ -93,6 +93,21 @@ class SegmentFailure(ExecutionError):
         self.transient = transient
 
 
+class ServerOverloaded(ReproError):
+    """The serving layer refused to admit a query: the run queue is full
+    (``reason='queue_full'``) or the request waited past the admission
+    queue timeout (``reason='queue_timeout'``).  Load shedding is a
+    *clean* failure — nothing was planned or executed — so callers can
+    retry with backoff against a healthy server.
+    """
+
+    stage = "serving"
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class QueryCancelled(ExecutionError):
     """The query was cancelled cooperatively via ``ExecContext.cancel()``
     (or its :class:`~repro.resilience.CancelToken`)."""

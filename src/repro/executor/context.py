@@ -103,7 +103,9 @@ class ExecContext:
         buffer = self.motion_buffers.get(motion_id)
         if buffer is None:
             buffer = MotionBuffer(
-                self.num_segments, self.motion_queue_capacity
+                self.num_segments,
+                self.motion_queue_capacity,
+                limits=self.limits if self.limits.active else None,
             )
             self.motion_buffers[motion_id] = buffer
         return buffer

@@ -155,6 +155,8 @@ class MppExecutor:
         limits: QueryLimits | None = None,
         workers: int | None = None,
         cache=None,
+        faults: FaultInjector | None = None,
+        scheduler: SegmentScheduler | None = None,
     ) -> ExecutionResult:
         """Run the plan; ``analyze=True`` additionally collects per-node
         wall-clock timings (row and partition counters are always on).
@@ -164,7 +166,12 @@ class MppExecutor:
         statement's :class:`~repro.cache.CacheSession` (None = cache off):
         PartitionSelector iterators replay its remembered OID sets, and on
         a successful cache-miss run the closed channels are harvested into
-        a new entry."""
+        a new entry.  ``faults`` overrides the executor-wide injector for
+        this query (serving sessions each carry their own).  ``scheduler``
+        runs the query's segment instances on a caller-owned
+        :class:`SegmentScheduler` — the serving layer's shared pool — and
+        is left open afterwards; without it a private scheduler is created
+        and torn down per query."""
         plan.validate()
         resolved_workers = self.workers if workers is None else workers
         if resolved_workers < 1:
@@ -181,12 +188,15 @@ class MppExecutor:
             self.num_segments,
             params,
             metrics,
-            faults=self.faults,
+            faults=faults if faults is not None else self.faults,
             limits=limits,
             workers=resolved_workers,
             cache=cache,
         )
-        with SegmentScheduler(resolved_workers) as scheduler:
+        owns_scheduler = scheduler is None
+        if scheduler is None:
+            scheduler = SegmentScheduler(resolved_workers)
+        try:
             # Slice k (k >= 1) is the subtree below the k-th Motion in
             # post-order; slice 0 is the root slice.
             for slice_id, motion in enumerate(
@@ -221,7 +231,18 @@ class MppExecutor:
             metrics.record_slice(
                 0, "root", time.perf_counter() - root_started
             )
-        limits.check()
+            limits.check()
+        except BaseException:
+            # A failed run (timeout, cancel, segment death, anything) may
+            # leave channels half-filled or outright missing; poison the
+            # cache session so neither this frame nor any caller can
+            # harvest partial state into the statement cache.
+            if cache is not None:
+                cache.abort()
+            raise
+        finally:
+            if owns_scheduler:
+                scheduler.close()
         elapsed = time.perf_counter() - started
         if cache is not None:
             # Successful run: on a miss, snapshot the closed OID channels
@@ -329,6 +350,7 @@ class MppExecutor:
         failure so counters stay cumulative across attempts."""
         policy = self.retry_policy
         attempt = 0
+        slept: float | None = None
         started = time.perf_counter()
         try:
             while True:
@@ -360,7 +382,8 @@ class MppExecutor:
                     ctx.reset_instance(
                         scan_ids, segment, motion_id=motion_id
                     )
-                    policy.backoff(attempt)
+                    # decorrelated jitter: this wait seeds the next draw
+                    slept = policy.backoff(attempt, previous=slept)
         finally:
             ctx.metrics.record_instance(
                 slice_id, segment, time.perf_counter() - started

@@ -40,13 +40,27 @@ from ..errors import ChannelError
 
 
 class TupleQueue:
-    """One Motion's row traffic toward one target segment."""
+    """One Motion's row traffic toward one target segment.
 
-    def __init__(self, capacity: int | None = None, stall_timeout_s: float = 10.0):
+    ``limits`` (optional) is the query's
+    :class:`~repro.resilience.guardrails.QueryLimits`: a producer blocked
+    under backpressure re-checks it on every wait tick, so a cancellation
+    or timeout unblocks the producer promptly instead of leaving it
+    parked until the stall timeout — the guarantee per-session cancel in
+    the serving layer relies on.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        stall_timeout_s: float = 10.0,
+        limits=None,
+    ):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.capacity = capacity
         self.stall_timeout_s = stall_timeout_s
+        self.limits = limits
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
@@ -83,6 +97,10 @@ class TupleQueue:
                             "motion queue stalled: consumer made no "
                             f"progress for {self.stall_timeout_s}s"
                         )
+                    # a cancelled/timed-out query must not stay parked
+                    # here waiting for a consumer that will never drain
+                    if self.limits is not None and self.limits.active:
+                        self.limits.check()
                     self._not_full.wait(timeout=0.05)
                     waited += 0.05
             if self._closed:
@@ -188,9 +206,16 @@ class MotionBuffer:
     target segment.  The executor sends into it from producer instances
     and the consuming slice reads one target's merged rows."""
 
-    def __init__(self, num_segments: int, capacity: int | None = None):
+    def __init__(
+        self,
+        num_segments: int,
+        capacity: int | None = None,
+        limits=None,
+    ):
         self.num_segments = num_segments
-        self._queues = [TupleQueue(capacity) for _ in range(num_segments)]
+        self._queues = [
+            TupleQueue(capacity, limits=limits) for _ in range(num_segments)
+        ]
 
     def send(self, target: int, row: tuple, producer: int) -> None:
         self._queues[target].put(row, producer)

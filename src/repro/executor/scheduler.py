@@ -36,17 +36,33 @@ from typing import Any, Callable, Sequence
 
 
 class SegmentScheduler:
-    """Runs per-(slice, segment) instances, serially or on a worker pool."""
+    """Runs per-(slice, segment) instances, serially or on a worker pool.
 
-    def __init__(self, workers: int = 1):
+    ``pool`` (optional) is an externally owned
+    :class:`~concurrent.futures.ThreadPoolExecutor` to submit to instead
+    of creating a private one — the serving layer's
+    :class:`~repro.serving.QueryScheduler` hands every admitted query a
+    scheduler view over one shared pool, so per-segment instances from
+    different queries interleave on the same workers.  A scheduler over a
+    borrowed pool never shuts it down; :meth:`close` is a no-op for it.
+    """
+
+    def __init__(
+        self, workers: int = 1, pool: ThreadPoolExecutor | None = None
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self._pool: ThreadPoolExecutor | None = None
+        self._owns_pool = False
         if workers > 1:
-            self._pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-segment"
-            )
+            if pool is not None:
+                self._pool = pool
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-segment"
+                )
+                self._owns_pool = True
 
     @property
     def parallel(self) -> bool:
@@ -81,9 +97,9 @@ class SegmentScheduler:
         return results
 
     def close(self) -> None:
-        if self._pool is not None:
+        if self._pool is not None and self._owns_pool:
             self._pool.shutdown(wait=True)
-            self._pool = None
+        self._pool = None
 
     def __enter__(self) -> "SegmentScheduler":
         return self

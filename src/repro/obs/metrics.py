@@ -40,7 +40,11 @@ from typing import Any, Iterator
 #: session): mode, per-query selector/result outcomes, and cumulative
 #: hits/misses/invalidations/bytes — see docs/caching.md; every v4 field
 #: is unchanged.
-METRICS_SCHEMA_VERSION = 5
+#: v6: additive "serving" section (null unless the query ran through a
+#: serving session): session name, queue wait, requested vs. effective
+#: (possibly degraded) worker width, and an admission-counter snapshot —
+#: see docs/serving.md; every v5 field is unchanged.
+METRICS_SCHEMA_VERSION = 6
 
 
 class ScanTracker:
@@ -249,6 +253,9 @@ class MetricsCollector:
         # caching (schema v5) — populated only when a cache session ran
         #: CacheSession.summary() snapshot: mode, outcomes, totals
         self.cache_summary: dict | None = None
+        # serving (schema v6) — populated only for serving-session queries
+        #: QueryServer submit summary: queue wait, degraded worker width
+        self.serving_summary: dict | None = None
 
     # -- plan registration --------------------------------------------------
 
@@ -504,6 +511,14 @@ class MetricsCollector:
         outcome."""
         self.cache_summary = summary
 
+    # -- serving (schema v6) ---------------------------------------------------
+
+    def record_serving(self, summary: dict) -> None:
+        """Attach the grant summary of a serving-session execution
+        (session name, queue wait, requested vs. effective workers, and
+        the admission counters at completion)."""
+        self.serving_summary = summary
+
     @property
     def retry_count(self) -> int:
         return len(self.retries)
@@ -609,6 +624,7 @@ class MetricsCollector:
             "optimizer": self.optimizer_summary,
             "parallel": self.parallel_stats(),
             "cache": self.cache_summary,
+            "serving": self.serving_summary,
         }
 
     def to_json(self, indent: int | None = None) -> str:

@@ -11,11 +11,13 @@ cancelled query from a timed-out or over-budget one.
 
 :class:`RetryPolicy` bounds how the executor retries a failed slice:
 ``max_retries`` attempts with exponential backoff starting at
-``base_delay_seconds``.
+``base_delay_seconds``, decorrelated-jittered by default so concurrent
+instances that failed together do not retry in lockstep.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -152,31 +154,84 @@ NO_LIMITS = QueryLimits()
 
 
 class RetryPolicy:
-    """Bounds on the executor's slice-retry loop."""
+    """Bounds on the executor's slice-retry loop.
 
-    __slots__ = ("max_retries", "base_delay_seconds", "max_delay_seconds")
+    ``jitter=True`` (the default) applies *decorrelated jitter* to the
+    exponential envelope: each wait is drawn uniformly from
+    ``[base, min(cap, 3 * previous_wait)]``, where the previous wait
+    seeds the next draw.  Under the parallel scheduler — and under the
+    serving layer's many concurrent queries — several instances of one
+    slice often fail at the same instant (a segment going down hits all
+    of them); deterministic exponential backoff would wake them all on
+    the same schedule and synchronize the re-runs into a retry storm.
+    Jittered waits stay inside the same ``[base, max]`` bounds but spread
+    the wakeups.  ``jitter=False`` restores the deterministic doubling
+    (used by tests that assert exact delays).
+    """
+
+    __slots__ = (
+        "max_retries",
+        "base_delay_seconds",
+        "max_delay_seconds",
+        "jitter",
+        "_rng",
+        "_rng_lock",
+    )
 
     def __init__(
         self,
         max_retries: int = 2,
         base_delay_seconds: float = 0.001,
         max_delay_seconds: float = 0.1,
+        jitter: bool = True,
+        seed: int | None = None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.max_retries = max_retries
         self.base_delay_seconds = base_delay_seconds
         self.max_delay_seconds = max_delay_seconds
+        self.jitter = jitter
+        #: policy objects are shared across worker threads; random.Random
+        #: is not thread-safe, so draws take this lock (cold path: one
+        #: draw per retry, never per row)
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
 
     def delay_for(self, attempt: int) -> float:
-        """Exponential backoff: attempt 1 waits the base delay, each
-        further attempt doubles it, capped at ``max_delay_seconds``."""
+        """The deterministic exponential envelope: attempt 1 waits the
+        base delay, each further attempt doubles it, capped at
+        ``max_delay_seconds``."""
         if self.base_delay_seconds <= 0:
             return 0.0
         delay = self.base_delay_seconds * (2 ** (attempt - 1))
         return min(delay, self.max_delay_seconds)
 
-    def backoff(self, attempt: int) -> None:
-        delay = self.delay_for(attempt)
+    def jittered_delay(
+        self, attempt: int, previous: float | None = None
+    ) -> float:
+        """One decorrelated-jitter draw for ``attempt``.
+
+        ``previous`` is the wait the same retry loop slept last time
+        (None on the first retry).  The result is always within
+        ``[base_delay_seconds, max_delay_seconds]``; with ``jitter=False``
+        it is exactly :meth:`delay_for`.
+        """
+        if not self.jitter:
+            return self.delay_for(attempt)
+        base = self.base_delay_seconds
+        if base <= 0:
+            return 0.0
+        anchor = previous if previous and previous > 0 else base
+        upper = min(self.max_delay_seconds, 3.0 * anchor)
+        upper = max(upper, base)
+        with self._rng_lock:
+            return self._rng.uniform(base, upper)
+
+    def backoff(self, attempt: int, previous: float | None = None) -> float:
+        """Sleep one retry wait and return it (callers feed it back as
+        ``previous`` on the next attempt to decorrelate the sequence)."""
+        delay = self.jittered_delay(attempt, previous)
         if delay > 0:
             time.sleep(delay)
+        return delay

@@ -1,0 +1,38 @@
+"""The concurrent serving tier (see docs/serving.md).
+
+Layering, outermost first:
+
+* :class:`NetServer` — optional TCP front end; one REPL + serving
+  session per connection.
+* :class:`QueryServer` — sessions, the submit path, serving stats and
+  the ``repro_serving_*`` Prometheus families.  Reached via
+  :meth:`~repro.engine.Database.serve`.
+* :class:`Session` — per-client isolation: settings, fault injector,
+  cancel scope (:meth:`~repro.engine.Database.session`).
+* :class:`AdmissionController` / :class:`ServingConfig` — concurrency
+  slots, bounded fair-share run queue, load shedding
+  (:class:`~repro.errors.ServerOverloaded`) and graceful
+  worker-width degradation.
+* :class:`QueryScheduler` — the one shared segment-worker pool all
+  admitted queries multiplex onto.
+"""
+
+from ..errors import ServerOverloaded
+from .admission import AdmissionController, AdmissionSlot, ServingConfig
+from .netserver import EOT, NetServer
+from .scheduler import QueryScheduler
+from .server import QueryServer, ServingStats
+from .session import Session
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionSlot",
+    "ServingConfig",
+    "QueryScheduler",
+    "QueryServer",
+    "ServingStats",
+    "Session",
+    "NetServer",
+    "EOT",
+    "ServerOverloaded",
+]

@@ -1,0 +1,73 @@
+"""The serving tier's shared segment-worker pool.
+
+Per-query execution uses a :class:`~repro.executor.scheduler.SegmentScheduler`
+that, standalone, owns a private thread pool.  Under a concurrent
+serving tier that would mean ``queries x workers`` threads — the classic
+thread explosion.  :class:`QueryScheduler` instead owns **one**
+:class:`~concurrent.futures.ThreadPoolExecutor` of ``pool_workers``
+threads and hands every admitted query a ``SegmentScheduler`` *view*
+over it, so per-(slice, segment) instances from different queries
+interleave on the same workers.
+
+Safety argument for sharing the pool: instance thunks never wait on
+other futures and never submit nested work — each runs its slice's
+iterator tree to completion against already-materialized Motion inputs
+(slice-at-a-time barrier), so a full pool delays instances but cannot
+deadlock them.  Degraded (serial) queries bypass the pool entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..executor.scheduler import SegmentScheduler
+
+__all__ = ["QueryScheduler"]
+
+
+class QueryScheduler:
+    """One shared worker pool multiplexing every admitted query."""
+
+    def __init__(self, pool_workers: int):
+        if pool_workers < 1:
+            raise ValueError("pool_workers must be >= 1")
+        self.pool_workers = pool_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_workers, thread_name_prefix="repro-serving"
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        #: SegmentScheduler views handed out (cumulative; observability)
+        self.views_created = 0
+
+    def segment_scheduler(self, workers: int) -> SegmentScheduler:
+        """A per-query scheduler over the shared pool.
+
+        ``workers <= 1`` returns a serial scheduler (inline execution, no
+        pool involvement) — the degraded-grant path.  The returned
+        scheduler never shuts the shared pool down; its ``close()`` only
+        drops the reference.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("QueryScheduler is closed")
+            self.views_created += 1
+            if workers <= 1:
+                return SegmentScheduler(1)
+            return SegmentScheduler(workers, pool=self._pool)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"QueryScheduler({self.pool_workers} pool workers, {state})"

@@ -1,0 +1,360 @@
+"""The concurrent serving front end: sessions -> admission -> shared pool.
+
+:class:`QueryServer` ties the serving tier together.  A submit runs:
+
+1. ``span("queue")`` — :meth:`AdmissionController.acquire` blocks in the
+   bounded fair-share queue (or sheds with
+   :class:`~repro.errors.ServerOverloaded`);
+2. ``span("admit")`` — the query executes via
+   :meth:`~repro.engine.Database.sql` with the *session's* isolated
+   defaults, fault injector and a per-query
+   :class:`~repro.resilience.CancelToken`, its segment instances
+   multiplexed onto the shared :class:`QueryScheduler` pool at the
+   slot's (possibly degraded) worker width;
+3. the slot is released (dispatching queued work) and the query's
+   serving summary is recorded into its metrics export (schema v6
+   ``serving`` section) plus the server-wide :class:`ServingStats`.
+
+Everything the tier does is observable: ``stats_dict()`` for one
+structured snapshot, ``to_prometheus()`` for ``repro_serving_*``
+families (admission counters, queue/inflight gauges, per-session p50/p99
+latency).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from ..errors import ReproError, ServerOverloaded
+from ..obs import trace as obs_trace
+from ..resilience.guardrails import CancelToken
+from .admission import AdmissionController, ServingConfig
+from .scheduler import QueryScheduler
+from .session import Session
+
+__all__ = ["QueryServer", "ServingStats"]
+
+#: per-session latency reservoir size (newest samples win)
+_RESERVOIR = 1024
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class ServingStats:
+    """Per-session latency/throughput accounting for the server."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latencies: dict[str, deque[float]] = {}
+        self._queries: dict[str, int] = {}
+
+    def record(self, session_name: str, latency_s: float) -> None:
+        with self._lock:
+            reservoir = self._latencies.get(session_name)
+            if reservoir is None:
+                reservoir = deque(maxlen=_RESERVOIR)
+                self._latencies[session_name] = reservoir
+            reservoir.append(latency_s)
+            self._queries[session_name] = (
+                self._queries.get(session_name, 0) + 1
+            )
+
+    def session_summary(self, session_name: str) -> dict:
+        with self._lock:
+            sample = sorted(self._latencies.get(session_name, ()))
+            count = self._queries.get(session_name, 0)
+        return {
+            "queries": count,
+            "p50_s": round(_percentile(sample, 0.50), 6),
+            "p99_s": round(_percentile(sample, 0.99), 6),
+        }
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            names = list(self._queries)
+        return {name: self.session_summary(name) for name in sorted(names)}
+
+
+class QueryServer:
+    """Admission-controlled, fair-share concurrent query front end."""
+
+    def __init__(self, db, config: ServingConfig | None = None):
+        self.db = db
+        self.config = config if config is not None else ServingConfig()
+        self.admission = AdmissionController(self.config)
+        self.scheduler = QueryScheduler(self.config.pool_workers)
+        self.stats = ServingStats()
+        self._lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}
+        self._next_id = 1
+        self._closed = False
+
+    # -- sessions -------------------------------------------------------------
+
+    def session(self, **settings) -> Session:
+        """Open one isolated :class:`~repro.serving.Session`."""
+        with self._lock:
+            if self._closed:
+                raise ReproError("server is closed")
+            session = Session(self, self._next_id, **settings)
+            self._next_id += 1
+            self._sessions[session.session_id] = session
+            return session
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def _discard(self, session: Session) -> None:
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+
+    # -- the submit path ------------------------------------------------------
+
+    def submit(
+        self,
+        session: Session,
+        query: str,
+        params=None,
+        analyze: bool = False,
+        trace: bool = False,
+        optimizer: str | None = None,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        workers: int | None = None,
+        cache: str | None = None,
+        cancel: CancelToken | None = None,
+        **options,
+    ):
+        """Run one statement for ``session`` through admission control.
+
+        Raises :class:`~repro.errors.ServerOverloaded` when shed; any
+        executor/guardrail error propagates unchanged (typed).  On
+        success the result's metrics carry a ``serving`` section with
+        the grant's queue wait and (possibly degraded) worker width.
+        """
+        if self._closed:
+            raise ReproError("server is closed")
+        if session.closed:
+            raise ReproError(f"session {session.name!r} is closed")
+        session.submitted += 1
+        requested = workers if workers is not None else session.workers
+        if requested is None:
+            requested = self.db.executor.workers
+        started = time.perf_counter()
+        try:
+            with obs_trace.span(
+                "queue", session=session.name, workers=requested
+            ):
+                slot = self.admission.acquire(session.session_id, requested)
+        except ServerOverloaded:
+            session.rejected += 1
+            raise
+        token = cancel if cancel is not None else CancelToken()
+        session._register(token)
+        segment_scheduler = self.scheduler.segment_scheduler(
+            slot.effective_workers
+        )
+        try:
+            with obs_trace.span(
+                "admit",
+                session=session.name,
+                workers=slot.effective_workers,
+                degraded=slot.degraded,
+            ):
+                result = self.db.sql(
+                    query,
+                    optimizer=(
+                        optimizer
+                        if optimizer is not None
+                        else (session.optimizer or "orca")
+                    ),
+                    params=params,
+                    analyze=analyze,
+                    trace=trace,
+                    timeout=timeout if timeout is not None else session.timeout,
+                    max_rows=(
+                        max_rows if max_rows is not None else session.max_rows
+                    ),
+                    cancel=token,
+                    workers=slot.effective_workers,
+                    cache=cache if cache is not None else session.cache,
+                    faults=session.faults,
+                    scheduler=segment_scheduler,
+                    **options,
+                )
+        finally:
+            segment_scheduler.close()
+            session._unregister(token)
+            self.admission.release(slot)
+        latency = time.perf_counter() - started
+        session.admitted += 1
+        self.stats.record(session.name, latency)
+        snapshot = self.admission.stats()
+        result.metrics.record_serving(
+            {
+                "session": session.name,
+                "queued_seconds": round(slot.queued_seconds, 6),
+                "requested_workers": slot.requested_workers,
+                "effective_workers": slot.effective_workers,
+                "degraded": slot.degraded,
+                "queue_depth": snapshot["queue_depth"],
+                "inflight": snapshot["inflight"],
+                "admitted_total": snapshot["admitted"],
+                "rejected_total": sum(snapshot["rejected"].values()),
+            }
+        )
+        return result
+
+    # -- observability --------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        """One structured snapshot of the whole serving tier."""
+        snapshot = self.admission.stats()
+        with self._lock:
+            open_sessions = {
+                s.name: {
+                    "submitted": s.submitted,
+                    "admitted": s.admitted,
+                    "rejected": s.rejected,
+                    "inflight": s.inflight,
+                }
+                for s in self._sessions.values()
+            }
+        return {
+            "config": self.config.to_dict(),
+            "admission": snapshot,
+            "open_sessions": open_sessions,
+            "latency": self.stats.to_dict(),
+            "pool_workers": self.scheduler.pool_workers,
+            "closed": self._closed,
+        }
+
+    def to_prometheus(self) -> str:
+        """``repro_serving_*`` families (same text-exposition style as
+        the stats-store and cache exporters)."""
+        snapshot = self.admission.stats()
+        lines: list[str] = []
+
+        def counter(name: str, help_text: str, value) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
+
+        def gauge(name: str, help_text: str, value) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+
+        counter(
+            "repro_serving_admitted_total",
+            "Queries admitted past admission control",
+            snapshot["admitted"],
+        )
+        lines.append(
+            "# HELP repro_serving_rejected_total Queries shed by admission "
+            "control"
+        )
+        lines.append("# TYPE repro_serving_rejected_total counter")
+        for reason in sorted(snapshot["rejected"]):
+            lines.append(
+                f'repro_serving_rejected_total{{reason="{reason}"}} '
+                f"{snapshot['rejected'][reason]}"
+            )
+        counter(
+            "repro_serving_degraded_total",
+            "Grants clamped below their requested worker width",
+            snapshot["degraded_grants"],
+        )
+        counter(
+            "repro_serving_queued_seconds_total",
+            "Total time admitted queries waited in the run queue",
+            round(snapshot["queued_seconds_total"], 6),
+        )
+        gauge(
+            "repro_serving_queue_depth",
+            "Queries currently waiting in the run queue",
+            snapshot["queue_depth"],
+        )
+        gauge(
+            "repro_serving_inflight",
+            "Queries currently executing",
+            snapshot["inflight"],
+        )
+        gauge(
+            "repro_serving_pool_workers",
+            "Width of the shared segment-worker pool",
+            self.scheduler.pool_workers,
+        )
+        with self._lock:
+            sessions = list(self._sessions.values())
+        gauge(
+            "repro_serving_sessions_open",
+            "Serving sessions currently open",
+            len(sessions),
+        )
+        lines.append(
+            "# HELP repro_serving_session_inflight Queries in flight per "
+            "session"
+        )
+        lines.append("# TYPE repro_serving_session_inflight gauge")
+        for session in sorted(sessions, key=lambda s: s.name):
+            lines.append(
+                f'repro_serving_session_inflight{{session="{session.name}"}} '
+                f"{session.inflight}"
+            )
+        lines.append(
+            "# HELP repro_serving_session_latency_seconds Per-session query "
+            "latency quantiles"
+        )
+        lines.append("# TYPE repro_serving_session_latency_seconds gauge")
+        for name, summary in self.stats.to_dict().items():
+            for quantile, key in (("0.5", "p50_s"), ("0.99", "p99_s")):
+                lines.append(
+                    f"repro_serving_session_latency_seconds"
+                    f'{{session="{name}",quantile="{quantile}"}} '
+                    f"{summary[key]}"
+                )
+        return "\n".join(lines) + "\n"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shed queued work, cancel in-flight queries, drain the pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        self.admission.close()
+        for session in sessions:
+            session.closed = True
+            session.cancel()
+        self.scheduler.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueryServer({len(self._sessions)} sessions, "
+            f"{self.config!r}, {state})"
+        )

@@ -1,0 +1,135 @@
+"""Serving sessions: one client's isolated view of the server.
+
+A :class:`Session` is the unit of isolation in the serving tier.  Each
+one carries:
+
+* its **own defaults** — workers, timeout, max_rows, cache mode,
+  optimizer — applied to every query it submits (overridable per call);
+* its **own** :class:`~repro.resilience.FaultInjector`, so chaos armed
+  by one client never fires inside another client's query;
+* its **own cancel scope** — :meth:`Session.cancel` cancels exactly the
+  session's in-flight queries (each submit runs under a fresh
+  :class:`~repro.resilience.CancelToken` registered here) and never
+  touches other sessions;
+* its own counters (submitted / admitted / rejected), feeding the
+  server's per-session stats and ``repro_serving_*`` metric families.
+
+Sessions are also the fairness domain: the
+:class:`~repro.serving.AdmissionController` caps in-flight queries and
+round-robins queued work *per session*.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..resilience.faults import FaultInjector
+from ..resilience.guardrails import CancelToken
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client's settings, fault scope and cancel scope."""
+
+    def __init__(
+        self,
+        server,
+        session_id: int,
+        name: str | None = None,
+        workers: int | None = None,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        cache: str | None = None,
+        optimizer: str | None = None,
+        fault_seed: int = 0,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.server = server
+        self.session_id = session_id
+        self.name = name if name else f"session-{session_id}"
+        self.workers = workers
+        self.timeout = timeout
+        self.max_rows = max_rows
+        self.cache = cache
+        self.optimizer = optimizer
+        #: session-scoped chaos: arm via ``session.faults.arm(...)``
+        self.faults = FaultInjector(seed=fault_seed)
+        self.closed = False
+        self._lock = threading.Lock()
+        #: cancel tokens of the session's in-flight queries
+        self._active_tokens: set[CancelToken] = set()
+        # -- per-session counters (server stats / prometheus) --
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- querying -------------------------------------------------------------
+
+    def sql(self, query: str, **overrides):
+        """Submit one statement through the server's admission path.
+
+        Keyword overrides (``params``, ``timeout``, ``max_rows``,
+        ``workers``, ``cache``, ``optimizer``, ``analyze``, ``trace``,
+        ``cancel``, ...) take precedence over the session defaults for
+        this call only.  Raises
+        :class:`~repro.errors.ServerOverloaded` when shed.
+        """
+        return self.server.submit(self, query, **overrides)
+
+    # -- cancellation ---------------------------------------------------------
+
+    def cancel(self) -> int:
+        """Cancel every in-flight query of *this* session (cooperative:
+        each raises :class:`~repro.errors.QueryCancelled` at its next
+        guardrail checkpoint).  Returns how many were signalled."""
+        with self._lock:
+            tokens = list(self._active_tokens)
+        for token in tokens:
+            token.cancel()
+        return len(tokens)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._active_tokens)
+
+    def _register(self, token: CancelToken) -> None:
+        with self._lock:
+            self._active_tokens.add(token)
+
+    def _unregister(self, token: CancelToken) -> None:
+        with self._lock:
+            self._active_tokens.discard(token)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel anything in flight and detach from the server."""
+        if self.closed:
+            return
+        self.closed = True
+        self.cancel()
+        self.server._discard(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def settings_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "timeout": self.timeout,
+            "max_rows": self.max_rows,
+            "cache": self.cache,
+            "optimizer": self.optimizer,
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"Session({self.name!r}, {state})"

@@ -192,7 +192,7 @@ def test_metrics_json_round_trip(orders_db):
     )
     result = orders_db.sql(sql, analyze=True)
     data = json.loads(result.metrics.to_json())
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == 6
     assert data["num_segments"] == SEGMENTS
     assert data["timing_collected"] is True
     # Every v1/v2 field survives in v3, plus the additive trace and
@@ -206,8 +206,11 @@ def test_metrics_json_round_trip(orders_db):
         "resilience",
         "trace",
         "optimizer",
+        "cache",
+        "serving",
     ):
         assert key in data
+    assert data["serving"] is None  # not a serving-session execution
     assert data["trace"] is None
     assert data["optimizer"] is None
     # A fault-free run records no retries or failovers.

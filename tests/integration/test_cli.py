@@ -234,3 +234,77 @@ def test_stats_meta_command(session):
     assert "usage: \\stats" in session.handle_line("\\stats bogus")
     assert "reset" in session.handle_line("\\stats reset")
     assert "empty" in session.handle_line("\\stats")
+
+
+# ---------------------------------------------------------------------------
+# serving integration
+# ---------------------------------------------------------------------------
+
+
+def test_sessions_without_server(session):
+    assert "no server running" in session.handle_line("\\sessions")
+
+
+def test_sessions_meta_command_with_serving_session():
+    from repro import Database
+
+    db = Database(num_segments=4)
+    repl = ReplSession(db, serving_session=db.session(name="shell"))
+    repl.handle_line("\\demo")
+    repl.handle_line("SELECT count(order_id) FROM orders;")
+    listing = repl.handle_line("\\sessions")
+    assert "serving:" in listing
+    assert "shell" in listing
+    assert "1 admitted" in listing
+    db._server.close()
+
+
+def test_stats_prometheus_includes_serving_families():
+    from repro import Database
+
+    db = Database(num_segments=4)
+    repl = ReplSession(db, serving_session=db.session(name="scrape"))
+    repl.handle_line("\\demo")
+    repl.handle_line("SELECT count(order_id) FROM orders;")
+    body = repl.handle_line("\\stats prometheus")
+    assert "repro_serving_admitted_total 1" in body
+    assert 'repro_serving_session_inflight{session="scrape"}' in body
+    db._server.close()
+
+
+def test_inject_fault_arms_the_serving_sessions_injector():
+    from repro import Database
+
+    db = Database(num_segments=4)
+    serving_session = db.session(name="chaos")
+    repl = ReplSession(db, serving_session=serving_session)
+    repl.handle_line("\\demo")
+    output = repl.handle_line("SET inject_fault scan_row transient;")
+    assert "armed" in output
+    assert serving_session.faults.specs()
+    assert not db.faults.specs()  # database-wide injector untouched
+    result = repl.handle_line("SELECT count(order_id) FROM orders;")
+    assert "5000" in result
+    assert "retries" in result  # the session-scoped fault fired
+    db._server.close()
+
+
+def test_serving_repl_reports_overload_as_typed_error():
+    from repro import Database
+    from repro.errors import ServerOverloaded
+
+    db = Database(num_segments=4)
+    server = db.serve(max_concurrent=1, max_queued=0, session_max_inflight=1)
+    blocker = server.session(name="blocker")
+    repl = ReplSession(db, serving_session=server.session(name="shed"))
+    repl.handle_line("\\demo")
+    slot = server.admission.acquire(blocker.session_id)
+    try:
+        output = repl.handle_line("SELECT count(order_id) FROM orders;")
+    finally:
+        server.admission.release(slot)
+    assert output.startswith("ERROR (serving)")
+    assert repl.errors == 1
+    # the queue-full shed is the typed ServerOverloaded, stage "serving"
+    assert ServerOverloaded.stage == "serving"
+    server.close()

@@ -130,3 +130,56 @@ def test_max_rows_counts_motion_buffers(orders_db):
     assert len(result.rows) == 2400
     with pytest.raises(ResourceLimitExceeded):
         orders_db.sql("SELECT order_id FROM orders", max_rows=2399)
+
+
+def test_jittered_delay_stays_inside_the_envelope():
+    """Decorrelated jitter: every draw is within [base, min(cap, 3*prev)]
+    and never exceeds the policy's max delay."""
+    policy = RetryPolicy(
+        max_retries=5,
+        base_delay_seconds=0.01,
+        max_delay_seconds=0.08,
+        seed=42,
+    )
+    previous = None
+    for attempt in range(1, 50):
+        delay = policy.jittered_delay(attempt, previous=previous)
+        assert 0.01 <= delay <= 0.08
+        anchor = previous if previous else 0.01
+        assert delay <= max(0.01, min(0.08, 3.0 * anchor)) + 1e-12
+        previous = delay
+
+
+def test_jittered_delays_actually_vary():
+    policy = RetryPolicy(base_delay_seconds=0.01, max_delay_seconds=1.0, seed=7)
+    draws = {policy.jittered_delay(1, previous=0.3) for _ in range(20)}
+    assert len(draws) > 1, "jitter produced a constant sequence"
+
+
+def test_jitter_off_restores_deterministic_exponential():
+    policy = RetryPolicy(
+        base_delay_seconds=0.01, max_delay_seconds=0.08, jitter=False
+    )
+    for attempt in range(1, 6):
+        assert policy.jittered_delay(attempt) == policy.delay_for(attempt)
+        assert policy.jittered_delay(
+            attempt, previous=0.5
+        ) == policy.delay_for(attempt)
+
+
+def test_jitter_seed_reproducibility():
+    draws_a = [
+        RetryPolicy(seed=123).jittered_delay(1, previous=None)
+        for _ in range(1)
+    ]
+    draws_b = [
+        RetryPolicy(seed=123).jittered_delay(1, previous=None)
+        for _ in range(1)
+    ]
+    assert draws_a == draws_b
+
+
+def test_zero_base_delay_never_sleeps():
+    policy = RetryPolicy(base_delay_seconds=0.0)
+    assert policy.jittered_delay(1) == 0.0
+    assert policy.backoff(1) == 0.0

@@ -1,0 +1,197 @@
+"""Guardrails under the parallel scheduler: timeout/cancel must
+terminate promptly at workers=4, including producers blocked on Motion
+backpressure, and must never leak worker threads or parked producers."""
+
+from __future__ import annotations
+
+import datetime
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    monthly_range_level,
+)
+from repro.errors import QueryCancelled, QueryTimeout
+from repro.executor.queues import TupleQueue
+from repro.resilience import CancelToken, QueryLimits
+
+JOIN_QUERY = (
+    "SELECT avg(amount) FROM orders WHERE date BETWEEN "
+    "'01-01-2012' AND '12-31-2013'"
+)
+
+
+def _db() -> Database:
+    db = Database(num_segments=4)
+    db.create_table(
+        "orders",
+        TableSchema.of(
+            ("order_id", t.INT), ("amount", t.FLOAT), ("date", t.DATE)
+        ),
+        distribution=DistributionPolicy.hashed("order_id"),
+        partition_scheme=PartitionScheme(
+            [monthly_range_level("date", datetime.date(2012, 1, 1), 24)]
+        ),
+    )
+    rng = random.Random(11)
+    start = datetime.date(2012, 1, 1)
+    db.insert(
+        "orders",
+        [
+            (
+                i,
+                round(rng.uniform(1, 100), 2),
+                start + datetime.timedelta(days=rng.randrange(729)),
+            )
+            for i in range(2000)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+def _segment_threads() -> int:
+    return sum(
+        1
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-segment") and thread.is_alive()
+    )
+
+
+def test_timeout_fires_promptly_at_workers_4():
+    db = _db()
+    db.storage.io_latency_s = 0.002
+    started = time.monotonic()
+    with pytest.raises(QueryTimeout):
+        db.sql(JOIN_QUERY, workers=4, timeout=0.0)
+    # cooperative checkpoints must kill the run in well under a second
+    # of wall clock even though four workers are mid-flight
+    assert time.monotonic() - started < 5.0
+    # the per-query pool was shut down (no leaked segment workers)
+    assert _segment_threads() == 0
+    # and the database still executes cleanly afterwards
+    db.storage.io_latency_s = 0.0
+    assert db.sql(JOIN_QUERY, workers=4).rows
+
+
+def test_external_cancel_terminates_parallel_run():
+    db = _db()
+    db.storage.io_latency_s = 0.002
+    token = CancelToken()
+    outcome: dict = {}
+
+    def run():
+        try:
+            outcome["rows"] = db.sql(JOIN_QUERY, workers=4, cancel=token).rows
+        except QueryCancelled:
+            outcome["cancelled"] = True
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    time.sleep(0.01)
+    token.cancel()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert outcome.get("cancelled") or "rows" in outcome
+    assert _segment_threads() == 0
+
+
+def test_deterministic_cancel_sweep_at_workers_4():
+    """The cancel_after_checks hook fires inside worker threads too; no
+    depth may hang the query or leak pool threads."""
+    db = _db()
+    for checks in (1, 5, 17, 65):
+        token = CancelToken(cancel_after_checks=checks)
+        started = time.monotonic()
+        try:
+            db.sql(JOIN_QUERY, workers=4, cancel=token)
+        except QueryCancelled:
+            pass
+        assert time.monotonic() - started < 10.0
+        assert _segment_threads() == 0
+
+
+def test_blocked_producer_unblocks_on_cancel():
+    """A producer parked on a full TupleQueue under backpressure must be
+    released by cancellation — not wait out the stall timeout."""
+    token = CancelToken()
+    limits = QueryLimits(cancel=token)
+    queue = TupleQueue(capacity=1, stall_timeout_s=30.0, limits=limits)
+    errors: list = []
+    taken: list = []
+
+    # attach a streaming consumer that drains exactly one row and then
+    # stalls forever, so put() blocks instead of failing fast
+    stream = queue.stream()
+    consumer = threading.Thread(target=lambda: taken.append(next(stream)))
+    consumer.start()
+    deadline = time.monotonic() + 2.0
+    while queue._consumers == 0 and time.monotonic() < deadline:
+        time.sleep(0.002)
+    assert queue._consumers == 1
+
+    def producer():
+        try:
+            queue.put((1,), producer=0)  # drained by the consumer
+            queue.put((2,), producer=0)  # fills the queue
+            queue.put((3,), producer=0)  # blocks: stalled consumer
+        except QueryCancelled as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    consumer.join(timeout=2.0)
+    time.sleep(0.05)
+    assert thread.is_alive(), "producer should be parked on backpressure"
+    token.cancel()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive(), "cancel did not release the producer"
+    assert len(errors) == 1
+    assert taken == [(1,)]
+    stream.close()
+
+
+def test_blocked_producer_unblocks_on_timeout():
+    limits = QueryLimits(timeout_seconds=0.05)
+    limits.start()
+    queue = TupleQueue(capacity=1, stall_timeout_s=30.0, limits=limits)
+    taken: list = []
+    stream = queue.stream()
+    consumer = threading.Thread(target=lambda: taken.append(next(stream)))
+    consumer.start()
+    deadline = time.monotonic() + 2.0
+    while queue._consumers == 0 and time.monotonic() < deadline:
+        time.sleep(0.002)
+    queue.put((1,), producer=0)
+    consumer.join(timeout=2.0)  # row 1 drained; consumer now stalls
+    queue.put((2,), producer=0)  # fills the queue
+    started = time.monotonic()
+    with pytest.raises(QueryTimeout):
+        queue.put((3,), producer=0)
+    assert time.monotonic() - started < 5.0
+    stream.close()
+
+
+def test_timeout_with_motion_backpressure_leaves_no_parked_producers():
+    """End to end: bounded motion queues + 4 workers + timeout.  The
+    query dies promptly and every producer thread drains out."""
+    db = _db()
+    db.executor.motion_queue_capacity = 8
+    db.storage.io_latency_s = 0.002
+    before = threading.active_count()
+    with pytest.raises((QueryTimeout, Exception)):
+        db.sql(JOIN_QUERY, workers=4, timeout=0.0)
+    deadline = time.monotonic() + 5.0
+    while _segment_threads() > 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert _segment_threads() == 0
+    # thread census returns to (at most) where it started
+    assert threading.active_count() <= before

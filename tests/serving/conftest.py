@@ -1,0 +1,57 @@
+"""Fixtures for the serving-tier suites.
+
+Serving tests attach servers, arm per-session faults and toggle storage
+latency, so they get a *fresh* database per test (the shared module-scoped
+``orders_db`` must never grow a server mid-suite).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+import pytest
+
+from repro import Database
+from repro import types as t
+from repro.catalog import (
+    DistributionPolicy,
+    PartitionScheme,
+    TableSchema,
+    monthly_range_level,
+)
+
+START = datetime.date(2012, 1, 1)
+
+
+def make_orders_db(rows: int = 1500, num_segments: int = 4) -> Database:
+    db = Database(num_segments=num_segments)
+    db.create_table(
+        "orders",
+        TableSchema.of(
+            ("order_id", t.INT), ("amount", t.FLOAT), ("date", t.DATE)
+        ),
+        distribution=DistributionPolicy.hashed("order_id"),
+        partition_scheme=PartitionScheme(
+            [monthly_range_level("date", START, 24)]
+        ),
+    )
+    rng = random.Random(2014)
+    db.insert(
+        "orders",
+        [
+            (
+                i,
+                round(rng.uniform(1, 100), 2),
+                START + datetime.timedelta(days=rng.randrange(729)),
+            )
+            for i in range(rows)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+@pytest.fixture()
+def fresh_db() -> Database:
+    return make_orders_db()

@@ -8,8 +8,8 @@ Usage::
 Two classes of comparison, mirroring what the simulator can promise:
 
 * **Counters gate hard.**  Partition-elimination effectiveness (fig16),
-  plan sizes (fig18a/b/c) and cache hit rates (fig20) are fully
-  deterministic — same code, same numbers.  Any difference from the baseline exits non-zero: either a
+  plan sizes (fig18a/b/c), cache hit rates (fig20) and overload-shedding
+  counters (fig21) are fully deterministic — same code, same numbers.  Any difference from the baseline exits non-zero: either a
   genuine optimizer regression or an intentional change that must ship
   with refreshed baselines (``benchmarks/baselines/``).
 * **Wall clocks report only.**  Timings (fig17/fig19 ``*seconds*`` /
@@ -51,6 +51,9 @@ COUNTER_GATES: dict[str, list[str]] = {
     # cache hit-rate counters are deterministic (fixed workload schedule);
     # the speedup wall clocks in the same file stay report-only
     "fig20_cache_speedup.json": ["workload"],
+    # admission control under a synchronized burst: admitted/shed/typed
+    # counts are exact; the throughput wall clocks stay report-only
+    "fig21_concurrent_throughput.json": ["overload"],
 }
 
 #: substrings identifying wall-clock leaves (report-only)

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Multi-client scripted-CLI equivalence check.
+
+Drives the same scripted shell session from N concurrent network
+clients against one admission-controlled :class:`repro.serving.NetServer`
+and diffs every transcript against a serial single-session replay of
+the identical script.  Concurrency — shared worker pool, admission
+queueing, fair-share scheduling, graceful degradation — must be
+*invisible* in the transcripts: same rows, same partitions-scanned
+lines, byte for byte.
+
+Usage::
+
+    PYTHONPATH=src python tools/concurrent_cli_diff.py [--clients N]
+
+Exits non-zero (printing a unified diff) on the first transcript that
+deviates from the serial reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import socket
+import sys
+import threading
+
+SCRIPT = [
+    "SELECT count(*) FROM orders "
+    "WHERE date BETWEEN '10-01-2013' AND '12-31-2013';",
+    "SELECT avg(amount) FROM orders WHERE date = '05-15-2013';",
+    "SELECT count(*), sum(orders_fk.amount) FROM orders_fk, date_dim "
+    "WHERE orders_fk.date_id = date_dim.date_id "
+    "AND date_dim.year = 2013;",
+    "SELECT count(*) FROM date_dim;",
+]
+
+
+class Client:
+    """Tiny framed client over the newline/EOT protocol."""
+
+    def __init__(self, host: str, port: int):
+        self._conn = socket.create_connection((host, port), timeout=30)
+        self._stream = self._conn.makefile("rwb")
+
+    def rpc(self, line: str) -> str:
+        from repro.serving import EOT
+
+        self._stream.write(line.encode() + b"\n")
+        self._stream.flush()
+        out = []
+        while True:
+            raw = self._stream.readline()
+            if not raw or raw == EOT:
+                break
+            out.append(raw.decode().rstrip("\n"))
+        return "\n".join(out)
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+def _demo_db():
+    from repro import Database
+    from repro.cli import ReplSession
+
+    db = Database(num_segments=4)
+    ReplSession(db).handle_line("\\demo")
+    return db
+
+
+def serial_reference() -> list[str]:
+    """The same script through a plain (serverless) shell session."""
+    from repro.cli import ReplSession
+
+    repl = ReplSession(_demo_db())
+    return [repl.handle_line(line) for line in SCRIPT]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    from repro.serving import NetServer
+
+    reference = serial_reference()
+
+    db = _demo_db()
+    transcripts: dict[int, list[str]] = {}
+    failures: list[str] = []
+    with NetServer(
+        db,
+        max_concurrent=4,
+        max_queued=64,
+        queue_timeout_s=60.0,
+        session_max_inflight=2,
+    ) as net:
+        clients = [Client(net.host, net.port) for _ in range(args.clients)]
+
+        def drive(index: int) -> None:
+            try:
+                transcripts[index] = [
+                    clients[index].rpc(line) for line in SCRIPT
+                ]
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                failures.append(f"client {index}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=drive, args=(i,))
+            for i in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+            if thread.is_alive():
+                failures.append("client thread hung")
+        for client in clients:
+            client.rpc("\\q")
+            client.close()
+    net.server.close()
+
+    for line in failures:
+        print(f"FAIL: {line}")
+    status = 1 if failures else 0
+    for index in sorted(transcripts):
+        if transcripts[index] == reference:
+            print(f"client {index}: transcript matches serial reference")
+            continue
+        status = 1
+        print(f"client {index}: transcript DIFFERS from serial reference")
+        diff = difflib.unified_diff(
+            "\n".join(reference).splitlines(),
+            "\n".join(transcripts[index]).splitlines(),
+            fromfile="serial",
+            tofile=f"client-{index}",
+            lineterm="",
+        )
+        for row in diff:
+            print(row)
+    if len(transcripts) != args.clients:
+        status = 1
+        print(f"FAIL: {len(transcripts)}/{args.clients} transcripts collected")
+    if status == 0:
+        print(
+            f"concurrent CLI diff: OK — {args.clients} concurrent clients, "
+            f"{len(SCRIPT)} statements each, transcripts identical to serial"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
