@@ -94,6 +94,9 @@ def _report():
     parallel_stats = db.sql(
         JOIN_SQL, analyze=True, workers=WORKERS
     ).metrics.parallel_stats()
+    # every db.sql above fed the live latency histogram (report-only in
+    # the regression gate: wall clocks never gate)
+    percentiles = db.live.query_seconds.percentiles()
 
     emit(
         "fig19_parallel_speedup",
@@ -116,6 +119,9 @@ def _report():
             f"{parallel_stats['overlap']:.2f}x "
             f"({parallel_stats['instance_busy_seconds'] * 1000:.1f} ms of "
             "segment work)",
+            f"statement latency: p50 {percentiles['p50_s'] * 1000:.1f} ms  "
+            f"p95 {percentiles['p95_s'] * 1000:.1f} ms  "
+            f"p99 {percentiles['p99_s'] * 1000:.1f} ms",
         ],
     )
     emit_json(
@@ -126,6 +132,7 @@ def _report():
             "io_latency_s": IO_LATENCY_S,
             "measurements": measurements,
             "overlap": parallel_stats["overlap"],
+            "latency_percentiles": percentiles,
         },
     )
 

@@ -138,6 +138,9 @@ def _report():
     off_s = timed(pass_off)
     cached_s = timed(pass_cached)
     speedup = off_s / cached_s if cached_s else 0.0
+    # every db.sql above fed the live latency histogram (report-only in
+    # the regression gate: wall clocks never gate)
+    percentiles = db.live.query_seconds.percentiles()
 
     emit(
         "fig20_cache_speedup",
@@ -154,6 +157,9 @@ def _report():
             f"workload={WORKLOAD} queries over {HOT_STATEMENTS} statements",
             f"hit rate: {hits}/{hits + misses} ({hit_rate_pct}%)  "
             f"stores: {stores}",
+            f"statement latency: p50 {percentiles['p50_s'] * 1000:.1f} ms  "
+            f"p95 {percentiles['p95_s'] * 1000:.1f} ms  "
+            f"p99 {percentiles['p99_s'] * 1000:.1f} ms",
         ],
     )
     emit_json(
@@ -165,6 +171,7 @@ def _report():
             "cache_off_seconds": off_s,
             "cache_on_seconds": cached_s,
             "speedup": speedup,
+            "latency_percentiles": percentiles,
         },
     )
 

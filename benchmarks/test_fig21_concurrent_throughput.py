@@ -229,6 +229,10 @@ def _report():
         _throughput_pass(db, clients, reference)
         for clients in CLIENT_COUNTS
     ]
+    # end-to-end latency across every serving statement so far, from the
+    # live telemetry histogram (queue wait included; report-only in the
+    # regression gate)
+    percentiles = db.live.query_seconds.percentiles()
     db.storage.io_latency_s = 0.02
     overload = _overload_pass(db, reference)
 
@@ -255,6 +259,9 @@ def _report():
             f"{overload['rejected_queue_full']} shed typed (queue_full), "
             f"{overload['untyped_errors']} untyped errors, "
             f"{overload['wrong_results']} wrong results",
+            f"statement latency: p50 {percentiles['p50_s'] * 1000:.1f} ms  "
+            f"p95 {percentiles['p95_s'] * 1000:.1f} ms  "
+            f"p99 {percentiles['p99_s'] * 1000:.1f} ms",
         ],
     )
     emit_json(
@@ -264,6 +271,7 @@ def _report():
             "queries_per_client": QUERIES_PER_CLIENT,
             "throughput": points,
             "overload": overload,
+            "latency_percentiles": percentiles,
         },
     )
 

@@ -178,9 +178,11 @@ class CacheManager:
             "results": results,
         }
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition for the cache, one ``cache`` label
-        per store (matches the stats-store exporter's format)."""
+    def prom_families(self) -> list:
+        """The ``repro_cache_*`` families, one ``cache``-labelled sample
+        per store, for the shared exporter (:mod:`repro.obs.prom`)."""
+        from ..obs.prom import MetricFamily
+
         stores = [
             ("partitions", self.partitions.to_dict()),
             ("results", self.results.to_dict()),
@@ -201,13 +203,20 @@ class CacheManager:
             ("repro_cache_bytes", "gauge", "Estimated bytes cached",
              "bytes"),
         ]
-        lines: list[str] = []
+        families = []
         for name, kind, help_text, field in metrics:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} {kind}")
+            family = MetricFamily(name, kind, help_text)
             for label, snapshot in stores:
-                lines.append(f'{name}{{cache="{label}"}} {snapshot[field]}')
-        return "\n".join(lines) + "\n"
+                family.add(snapshot[field], cache=label)
+            families.append(family)
+        return families
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition for the cache, one ``cache`` label
+        per store (matches the stats-store exporter's format)."""
+        from ..obs.prom import render
+
+        return render(self.prom_families())
 
     def render(self) -> str:
         """The ``\\cache`` table: per-store counters plus cached keys."""

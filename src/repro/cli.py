@@ -50,6 +50,9 @@ Meta commands:
   \\sessions          serving-tier sessions and admission state (with a
                      running server; \\stats prometheus then also emits
                      the repro_serving_* families)
+  \\activity          in-flight queries (pg_stat_activity-style: id,
+                     session, phase, elapsed, rows, partitions k/N)
+  \\activity cancel ID cancel one in-flight query by its id
   \\help              this text
   \\q                 quit
 SET statements configure the session:
@@ -66,6 +69,9 @@ SET statements configure the session:
                    repeat statements, 'results' additionally serves repeat
                    SELECTs from cached results; DML invalidates entries
                    per touched partition (see docs/caching.md)
+  SET slow_log SECONDS [PATH];  SET slow_log off;   structured slow-query
+                   log: statements at/above the threshold append one JSON
+                   line (phase timings, partition counters) to PATH
 SQL statements additionally support the EXPLAIN, EXPLAIN ANALYZE and
 EXPLAIN (TRACE) prefixes (ANALYZE executes the query and annotates the
 plan with per-node actual rows, partitions scanned and Motion traffic;
@@ -168,7 +174,28 @@ class ReplSession:
             return self._cache(argument)
         if name == "\\sessions":
             return self._sessions()
+        if name == "\\activity":
+            return self._activity(argument)
         return f"unknown command {name!r}; try \\help"
+
+    def _activity(self, argument: str) -> str:
+        """``\\activity`` — the live in-flight registry; ``\\activity
+        cancel ID`` cancels one query by its id."""
+        if not argument:
+            return self.db.live.activity.render()
+        action, _, raw_id = argument.partition(" ")
+        if action.lower() != "cancel":
+            return "usage: \\activity [cancel ID]"
+        try:
+            query_id = int(raw_id.strip())
+        except ValueError:
+            return f"ERROR (sql): invalid query id {raw_id.strip()!r}"
+        if self.db.cancel_query(query_id):
+            return f"cancel requested for query {query_id}"
+        return (
+            f"no cancellable in-flight query with id {query_id} "
+            "(only queries running with a cancel token can be cancelled)"
+        )
 
     def _stats(self, argument: str) -> str:
         store = self.db.stats()
@@ -189,13 +216,11 @@ class ReplSession:
             store.reset()
             return "query statistics reset"
         if argument.lower() == "prometheus":
-            # one scrape body: query stats, cache families, and — when a
-            # server is running — the repro_serving_* families
-            body = store.to_prometheus() + cache.to_prometheus()
-            server = self.db._server
-            if server is not None and not server.closed:
-                body += server.to_prometheus()
-            return body
+            # the one consolidated scrape body (identical to GET /metrics):
+            # query stats, cache, serving (while a server runs), live
+            from .obs.prom import export_prometheus
+
+            return export_prometheus(self.db)
         return "usage: \\stats [reset | prometheus]"
 
     def _sessions(self) -> str:
@@ -423,7 +448,32 @@ class ReplSession:
                 )
             self.cache = value
             return f"cache is {value}"
+        if name == "slow_log":
+            return self._set_slow_log(argument)
         return f"ERROR (sql): unknown setting {name!r}"
+
+    def _set_slow_log(self, argument: str) -> str:
+        """``SET slow_log SECONDS [PATH]`` enables the structured
+        slow-query log (JSONL, rotated); ``SET slow_log off`` disables
+        it.  The sink is database-wide (every session's statements are
+        eligible), matching ``log_min_duration_statement`` semantics."""
+        slow_log = self.db.live.slow_log
+        if not argument or argument.lower() in ("off", "none"):
+            slow_log.configure(threshold_s=None)
+            return "slow_log is off"
+        words = argument.split(None, 1)
+        try:
+            threshold = float(words[0])
+        except ValueError:
+            return f"ERROR (sql): invalid slow_log threshold {words[0]!r}"
+        path = words[1].strip() if len(words) > 1 else slow_log.path
+        if path is None:
+            return (
+                "ERROR (sql): slow_log needs a sink "
+                "(SET slow_log SECONDS PATH)"
+            )
+        slow_log.configure(threshold_s=threshold, path=path)
+        return f"slow_log is {threshold}s -> {path}"
 
     def _set_inject_fault(self, argument: str) -> str:
         """``SET inject_fault POINT [segment=N] [mode=M] [n=K] [skip=K]
@@ -570,20 +620,42 @@ def _render(value) -> str:
 
 
 def serve_main(argv: list[str]) -> int:  # pragma: no cover - network loop
-    """``python -m repro --serve [PORT]`` — the multi-client TCP mode.
+    """``python -m repro --serve [PORT] [--metrics-port N]`` — the
+    multi-client TCP mode.
 
     Each connection gets its own REPL over its own serving session; all
-    connections share one database through admission control."""
+    connections share one database through admission control.
+    ``--metrics-port`` additionally binds the HTTP scrape sidecar
+    (``/metrics``, ``/healthz``, ``/activity``) and starts the live
+    telemetry ticker."""
     import sys
 
     from .serving import NetServer
 
     port = 0
-    if argv:
+    metrics_port: int | None = None
+    positional: list[str] = []
+    words = list(argv)
+    while words:
+        word = words.pop(0)
+        if word == "--metrics-port":
+            if not words:
+                print("--metrics-port needs a value", file=sys.stderr)
+                return 2
+            word = f"--metrics-port={words.pop(0)}"
+        if word.startswith("--metrics-port="):
+            try:
+                metrics_port = int(word.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid metrics port {word!r}", file=sys.stderr)
+                return 2
+        else:
+            positional.append(word)
+    if positional:
         try:
-            port = int(argv[0])
+            port = int(positional[0])
         except ValueError:
-            print(f"invalid port {argv[0]!r}", file=sys.stderr)
+            print(f"invalid port {positional[0]!r}", file=sys.stderr)
             return 2
     db = Database(num_segments=4)
     server = NetServer(db, port=port).start()
@@ -591,6 +663,13 @@ def serve_main(argv: list[str]) -> int:  # pragma: no cover - network loop
         f"repro serving on {server.host}:{server.port} "
         "(newline-delimited REPL lines; \\x04 frames responses; Ctrl-C stops)"
     )
+    scrape = None
+    if metrics_port is not None:
+        scrape = db.serve_scrape(port=metrics_port)
+        print(
+            f"repro scrape endpoints on {scrape.address} "
+            "(/metrics /healthz /activity)"
+        )
     try:
         while True:
             server._accept_thread.join(timeout=1.0)
@@ -599,6 +678,8 @@ def serve_main(argv: list[str]) -> int:  # pragma: no cover - network loop
     except KeyboardInterrupt:
         print()
     finally:
+        if scrape is not None:
+            scrape.close()
         server.close()
         server.server.close()
     return 0

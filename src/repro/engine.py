@@ -32,6 +32,7 @@ from .errors import ReproError
 from .executor.executor import ExecutionResult, MppExecutor
 from .logical.ops import LogicalOp
 from .obs import trace as obs_trace
+from .obs.live import LiveTelemetry
 from .obs.render import render_explain_trace
 from .obs.stats_store import QueryStatsStore
 from .obs.trace import Tracer
@@ -110,6 +111,52 @@ class Database:
         #: the instance's :class:`~repro.serving.QueryServer`, created
         #: lazily by :meth:`serve` / :meth:`session`
         self._server = None
+        #: the live operations telemetry hub (in-flight activity registry,
+        #: latency/queue-wait/scan-ratio histograms, sampled gauge series,
+        #: slow-query log) — see docs/observability.md.  The background
+        #: ticker is NOT auto-started; the scrape server (or a caller)
+        #: starts it, and :meth:`LiveTelemetry.sample_now` works without it.
+        self.live = LiveTelemetry()
+        self._register_live_sources()
+
+    def _register_live_sources(self) -> None:
+        """The gauge sources the live ticker samples.  Serving-tier
+        sources read through :attr:`_server` at call time and return None
+        (= skip the tick) while no server is open."""
+        live = self.live
+        live.add_source("queries_in_flight", lambda: float(len(live.activity)))
+        live.add_source("cache_hit_rate", self._cache_hit_rate)
+
+        def admission_gauge(key: str):
+            def read() -> float | None:
+                server = self._server
+                if server is None or server.closed:
+                    return None
+                return float(server.admission.stats()[key])
+
+            return read
+
+        live.add_source("queue_depth", admission_gauge("queue_depth"))
+        live.add_source("inflight_admitted", admission_gauge("inflight"))
+
+        def pool_busy() -> float | None:
+            server = self._server
+            if server is None or server.closed:
+                return None
+            return server.scheduler.busy_fraction()
+
+        live.add_source("pool_busy_fraction", pool_busy)
+
+    def _cache_hit_rate(self) -> float | None:
+        """Combined hit rate across both cache stores (None = no lookups
+        yet, so the series records nothing rather than a fake zero)."""
+        stats = self.cache.stats_dict()
+        hits = misses = 0
+        for store in ("partitions", "results"):
+            hits += stats[store]["hits"]
+            misses += stats[store]["misses"]
+        total = hits + misses
+        return hits / total if total else None
 
     @property
     def health(self):
@@ -143,6 +190,16 @@ class Database:
         timeout, max_rows, cache mode, optimizer, fault injector) and a
         per-session cancel that never touches other sessions' queries."""
         return self.serve().session(**settings)
+
+    def serve_scrape(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the HTTP scrape sidecar (``/metrics``, ``/healthz``,
+        ``/activity``) bound to ``host:port`` (port 0 = ephemeral) and
+        start the live-telemetry ticker.  Returns the
+        :class:`~repro.serving.ScrapeServer`; the caller owns its
+        ``close()``."""
+        from .serving import ScrapeServer
+
+        return ScrapeServer(self, host=host, port=port)
 
     # -- DDL / data -----------------------------------------------------------
 
@@ -289,9 +346,22 @@ class Database:
         cache: str | None = None,
         faults=None,
         scheduler=None,
+        activity=None,
         **options,
     ) -> ExecutionResult:
         """Parse, plan and execute one statement.
+
+        Every call registers with the live activity registry
+        (``db.live``): the statement is visible in ``db.activity()`` /
+        ``\\activity`` while it runs — current phase, rows and partitions
+        so far — and its completion feeds the latency histograms, the
+        slow-query log and the metrics export's ``live`` section (schema
+        v7).  ``activity`` passes a pre-registered
+        :class:`~repro.obs.live.QueryActivity` (the serving layer
+        registers before admission so queued statements are visible);
+        None registers a fresh record.  Statements with a ``cancel``
+        token — every serving-session query has one — are cancellable by
+        id via :meth:`cancel_query`.
 
         ``faults`` overrides the instance-wide
         :class:`~repro.resilience.FaultInjector` for this query (serving
@@ -337,42 +407,79 @@ class Database:
         :class:`~repro.resilience.CancelToken` whose :meth:`cancel` makes
         the next checkpoint raise :class:`~repro.errors.QueryCancelled`).
         """
-        mode = self.cache.resolve_mode(cache)
-        session = None
-        if mode != "off":
-            key = self._statement_key(
-                query, params, optimizer, lower_selectors, options
-            )
-            if mode == "results":
-                entry = self.cache.lookup_result(key)
-                if entry is not None:
-                    result = self._cached_result(key, mode, entry)
-                    self.query_stats.record(query, result)
-                    return result
-            session = self.cache.begin(key, mode)
-        tracer = Tracer() if trace else None
-        with obs_trace.activate(tracer):
-            result = self._sql(
+        if activity is None:
+            activity = self.live.begin(
                 query,
-                optimizer,
-                params,
-                analyze,
-                QueryLimits(
-                    timeout_seconds=timeout, max_rows=max_rows, cancel=cancel
-                ),
-                lower_selectors,
-                workers,
-                session,
-                faults=faults,
-                scheduler=scheduler,
-                **options,
+                workers=workers if workers is not None else self.workers,
+                cancel=cancel,
             )
+        else:
+            activity.adopt_cancel(cancel)
+        try:
+            with obs_trace.feed_phases(activity.enter_phase):
+                mode = self.cache.resolve_mode(cache)
+                session = None
+                if mode != "off":
+                    key = self._statement_key(
+                        query, params, optimizer, lower_selectors, options
+                    )
+                    if mode == "results":
+                        entry = self.cache.lookup_result(key)
+                        if entry is not None:
+                            activity.enter_phase("cache_hit")
+                            result = self._cached_result(key, mode, entry)
+                            result.metrics.record_live(
+                                self.live.complete(activity)
+                            )
+                            self.query_stats.record(query, result)
+                            return result
+                    session = self.cache.begin(key, mode)
+                tracer = Tracer() if trace else None
+                with obs_trace.activate(tracer):
+                    result = self._sql(
+                        query,
+                        optimizer,
+                        params,
+                        analyze,
+                        QueryLimits(
+                            timeout_seconds=timeout,
+                            max_rows=max_rows,
+                            cancel=cancel,
+                        ),
+                        lower_selectors,
+                        workers,
+                        session,
+                        faults=faults,
+                        scheduler=scheduler,
+                        activity=activity,
+                        **options,
+                    )
+        except BaseException as error:
+            self.live.complete(activity, error=error)
+            raise
         if tracer is not None:
             result.trace = tracer
             result.metrics.record_trace(tracer.to_dict())
             result.metrics.record_optimizer(tracer.optimizer.summary())
+        result.metrics.record_live(self.live.complete(activity))
         self.query_stats.record(query, result)
         return result
+
+    def activity(self) -> list[dict]:
+        """The in-flight query registry as JSON-ready rows
+        (``pg_stat_activity``-style): one dict per running statement with
+        its id, session, fingerprint, current phase, elapsed/queued time
+        and rows/partitions so far.  The full hub export — histograms,
+        sampled series, slow-log state — is ``db.live.to_dict()``."""
+        return self.live.activity.snapshot()
+
+    def cancel_query(self, query_id: int) -> bool:
+        """Cancel one in-flight query by its activity id; returns whether
+        a cancellable query with that id was found.  Only statements
+        running with a :class:`~repro.resilience.CancelToken` (every
+        serving-session query) are cancellable — the token keeps the
+        per-row guardrail path opt-in."""
+        return self.live.activity.cancel(query_id)
 
     def _statement_key(
         self,
@@ -414,6 +521,7 @@ class Database:
         session=None,
         faults=None,
         scheduler=None,
+        activity=None,
         **options,
     ) -> ExecutionResult:
         with obs_trace.span("parse"):
@@ -449,6 +557,7 @@ class Database:
                         cache=session,
                         faults=faults,
                         scheduler=scheduler,
+                        activity=activity,
                     )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
@@ -482,6 +591,7 @@ class Database:
                 cache=session,
                 faults=faults,
                 scheduler=scheduler,
+                activity=activity,
             )
         if session is not None and session.results_active:
             # Commit the result set with its invalidation footprint: the

@@ -44,14 +44,13 @@ never re-run.
 from __future__ import annotations
 
 import time
-import warnings
 from typing import Any, Callable, Sequence
 
 from ..catalog import Catalog
 from ..errors import SegmentFailure
 from ..expr.eval import compile_expression
 from ..obs import trace as obs_trace
-from ..obs.metrics import MetricsCollector, ScanTracker
+from ..obs.metrics import MetricsCollector
 from ..obs.render import render_explain_analyze
 from ..physical import ops as phys
 from ..physical.plan import Plan
@@ -69,8 +68,8 @@ class ExecutionResult:
     """Rows plus the measurements the paper's experiments report.
 
     ``metrics`` is the full per-node :class:`MetricsCollector`;
-    ``tracker``, ``partitions_scanned`` and ``rows_scanned`` are thin
-    aliases over it, kept for older callers.
+    ``partitions_scanned`` and ``rows_scanned`` are thin aliases over it,
+    kept for older callers.
     """
 
     def __init__(
@@ -87,18 +86,6 @@ class ExecutionResult:
         #: the lifecycle :class:`~repro.obs.Tracer` when the statement ran
         #: with ``trace=True``; ``None`` otherwise
         self.trace = None
-
-    @property
-    def tracker(self) -> ScanTracker:
-        """Deprecated aggregate view; prefer :attr:`metrics`."""
-        warnings.warn(
-            "ExecutionResult.tracker is deprecated; use the per-node "
-            "metrics instead (result.metrics, result.partitions_scanned(), "
-            "result.rows_scanned)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.metrics.tracker
 
     def partitions_scanned(self, table_name: str | None = None) -> int:
         return self.metrics.partitions_scanned(table_name)
@@ -157,6 +144,7 @@ class MppExecutor:
         cache=None,
         faults: FaultInjector | None = None,
         scheduler: SegmentScheduler | None = None,
+        activity=None,
     ) -> ExecutionResult:
         """Run the plan; ``analyze=True`` additionally collects per-node
         wall-clock timings (row and partition counters are always on).
@@ -171,7 +159,11 @@ class MppExecutor:
         runs the query's segment instances on a caller-owned
         :class:`SegmentScheduler` — the serving layer's shared pool — and
         is left open afterwards; without it a private scheduler is created
-        and torn down per query."""
+        and torn down per query.  ``activity`` is the statement's live
+        :class:`~repro.obs.live.QueryActivity` record (None = not
+        registered): the executor attaches the collector to it once, so
+        activity snapshots can read rows/partitions-so-far — a pull
+        model, with zero per-row writes."""
         plan.validate()
         resolved_workers = self.workers if workers is None else workers
         if resolved_workers < 1:
@@ -179,6 +171,9 @@ class MppExecutor:
         metrics = MetricsCollector(self.num_segments, timing=analyze)
         metrics.register_plan(plan)
         metrics.record_workers(resolved_workers)
+        if activity is not None:
+            activity.attach_metrics(metrics)
+            activity.workers = resolved_workers
         limits = limits if limits is not None else QueryLimits()
         limits.start()
         started = time.perf_counter()

@@ -152,15 +152,18 @@ def _dynamic_scan_iter(
     ctx.metrics.node(op).part_scan_id = op.part_scan_id
     oids = ctx.channel(op.part_scan_id, segment).consume()
     faults = ctx.faults if ctx.faults.active else None
-    count = 0
     for oid in oids:
         ctx.metrics.record_leaf(op, op.table, oid, segment)
+        # rows are batched per *leaf* (not per scan) so the live activity
+        # registry sees rows-so-far advance while a long scan runs; still
+        # one recording call per partition, never per row
+        count = 0
         for row in ctx.storage.scan_table(segment, op.table.oid, [oid]):
             if faults is not None:
                 faults.maybe_fire(SCAN_ROW, segment)
             count += 1
             yield row
-    ctx.metrics.record_scan_rows(op, op.table, segment, count)
+        ctx.metrics.record_scan_rows(op, op.table, segment, count)
 
 
 # ---------------------------------------------------------------------------

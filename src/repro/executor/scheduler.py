@@ -48,11 +48,18 @@ class SegmentScheduler:
     """
 
     def __init__(
-        self, workers: int = 1, pool: ThreadPoolExecutor | None = None
+        self,
+        workers: int = 1,
+        pool: ThreadPoolExecutor | None = None,
+        busy=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        #: optional occupancy counter with ``enter()``/``leave()`` —
+        #: the serving pool's busy-fraction gauge; wrapped per instance,
+        #: never per row
+        self.busy = busy
         self._pool: ThreadPoolExecutor | None = None
         self._owns_pool = False
         if workers > 1:
@@ -82,6 +89,8 @@ class SegmentScheduler:
         """
         if self._pool is None:
             return [instance() for instance in instances]
+        if self.busy is not None:
+            instances = [self._occupied(i) for i in instances]
         futures = [self._pool.submit(instance) for instance in instances]
         results: list[Any] = []
         first_error: BaseException | None = None
@@ -95,6 +104,18 @@ class SegmentScheduler:
         if first_error is not None:
             raise first_error
         return results
+
+    def _occupied(self, instance: Callable[[], Any]) -> Callable[[], Any]:
+        busy = self.busy
+
+        def run():
+            busy.enter()
+            try:
+                return instance()
+            finally:
+                busy.leave()
+
+        return run
 
     def close(self) -> None:
         if self._pool is not None and self._owns_pool:

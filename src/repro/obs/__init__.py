@@ -20,26 +20,45 @@ time.  This package makes those observables first class:
 * :class:`QueryStatsStore` — process-lifetime cumulative per-fingerprint
   query statistics with JSON and Prometheus-text exports (``db.stats()``
   and the CLI's ``\\stats``).
+* :mod:`repro.obs.live` — the live operations hub (``db.live``): the
+  in-flight query activity registry (``pg_stat_activity``-style, with
+  cancel-by-id), bounded latency/queue-wait/scan-ratio histograms,
+  ticker-sampled gauge series and the structured slow-query log
+  (:mod:`repro.obs.slowlog`).
+* :mod:`repro.obs.prom` — the one shared Prometheus text-exposition
+  exporter every subsystem's families render through
+  (``\\stats prometheus`` and ``GET /metrics``).
 * ``MetricsCollector.to_json()`` — a stable JSON export consumed by the
   CLI, the benchmarks and external tooling (schema documented in
   ``docs/observability.md``).
 """
 
+from .live import ActivityRegistry, GaugeSeries, Histogram, LiveTelemetry
 from .metrics import MetricsCollector, NodeMetrics, ScanTracker
 from .opt_events import OptimizerEventLog
+from .prom import MetricFamily, export_prometheus
 from .render import render_explain_analyze, render_explain_trace
+from .slowlog import SlowQueryLog
 from .stats_store import QueryStatsStore, fingerprint
-from .trace import Span, Tracer, activate
+from .trace import Span, Tracer, activate, feed_phases
 
 __all__ = [
+    "ActivityRegistry",
+    "GaugeSeries",
+    "Histogram",
+    "LiveTelemetry",
+    "MetricFamily",
     "MetricsCollector",
     "NodeMetrics",
     "OptimizerEventLog",
     "QueryStatsStore",
     "ScanTracker",
+    "SlowQueryLog",
     "Span",
     "Tracer",
     "activate",
+    "export_prometheus",
+    "feed_phases",
     "fingerprint",
     "render_explain_analyze",
     "render_explain_trace",

@@ -44,7 +44,11 @@ from typing import Any, Iterator
 #: serving session): session name, queue wait, requested vs. effective
 #: (possibly degraded) worker width, and an admission-counter snapshot —
 #: see docs/serving.md; every v5 field is unchanged.
-METRICS_SCHEMA_VERSION = 6
+#: v7: additive "live" section (null unless the statement registered with
+#: the live activity registry — every Database.sql() call does): query
+#: id, session, queue wait, elapsed time and the lifecycle phase log —
+#: see docs/observability.md; every v6 field is unchanged.
+METRICS_SCHEMA_VERSION = 7
 
 
 class ScanTracker:
@@ -256,6 +260,9 @@ class MetricsCollector:
         # serving (schema v6) — populated only for serving-session queries
         #: QueryServer submit summary: queue wait, degraded worker width
         self.serving_summary: dict | None = None
+        # live telemetry (schema v7) — populated by the activity registry
+        #: LiveTelemetry.complete() summary: query id, phase log, timings
+        self.live_summary: dict | None = None
 
     # -- plan registration --------------------------------------------------
 
@@ -519,6 +526,14 @@ class MetricsCollector:
         the admission counters at completion)."""
         self.serving_summary = summary
 
+    # -- live telemetry (schema v7) --------------------------------------------
+
+    def record_live(self, summary: dict) -> None:
+        """Attach the statement's live-activity summary
+        (:meth:`~repro.obs.live.LiveTelemetry.complete`): query id,
+        session, queue wait, elapsed time and the lifecycle phase log."""
+        self.live_summary = summary
+
     @property
     def retry_count(self) -> int:
         return len(self.retries)
@@ -625,6 +640,7 @@ class MetricsCollector:
             "parallel": self.parallel_stats(),
             "cache": self.cache_summary,
             "serving": self.serving_summary,
+            "live": self.live_summary,
         }
 
     def to_json(self, indent: int | None = None) -> str:

@@ -1,0 +1,139 @@
+"""The structured slow-query log.
+
+Production engines keep a ``log_min_duration_statement``-style sink: any
+statement slower than a threshold is appended — with enough structure to
+debug it later — to a log an operator can tail, grep and ship.  This
+module is that sink for the repro engine: **JSONL** (one JSON object per
+line, stable key order), written only for statements at or above the
+configured threshold, with size-based rotation so an unattended server
+never fills a disk.
+
+Each record carries the statement's fingerprint and (truncated) text,
+wall/queue times, phase timings from the live activity record, and the
+paper's partition counters (scanned vs. eligible), plus an ``error``
+field for statements that failed slowly.
+
+Disabled by default (``threshold_s=None``); enable programmatically via
+:meth:`SlowQueryLog.configure` or from the CLI with
+``SET slow_log SECONDS [PATH]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+__all__ = ["SlowQueryLog"]
+
+#: default rotation point: rotate once the active file passes this size
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+#: rotated generations kept (``path.1`` .. ``path.N``, newest first)
+DEFAULT_BACKUPS = 3
+
+
+class SlowQueryLog:
+    """Threshold-gated JSONL sink with size-based rotation."""
+
+    def __init__(
+        self,
+        path: str | None = None,
+        threshold_s: float | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        backups: int = DEFAULT_BACKUPS,
+    ):
+        self._lock = threading.Lock()
+        self.path = path
+        self.threshold_s = threshold_s
+        self.max_bytes = max_bytes
+        self.backups = backups
+        #: records actually written (observability for tests and \activity)
+        self.records_written = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_s is not None and self.path is not None
+
+    def configure(
+        self,
+        threshold_s: float | None = None,
+        path: str | None = None,
+        max_bytes: int | None = None,
+        backups: int | None = None,
+    ) -> None:
+        """Reconfigure in place; ``threshold_s=None`` disables the log."""
+        with self._lock:
+            self.threshold_s = threshold_s
+            if path is not None:
+                self.path = path
+            if max_bytes is not None:
+                self.max_bytes = max_bytes
+            if backups is not None:
+                self.backups = backups
+
+    # -- recording -----------------------------------------------------------
+
+    def maybe_record(self, elapsed_s: float, record: dict) -> bool:
+        """Append ``record`` iff the log is enabled and ``elapsed_s``
+        meets the threshold; returns whether a line was written.
+
+        Never raises: a full disk or bad path must not fail the query
+        that merely happened to be slow.
+        """
+        with self._lock:
+            if (
+                self.threshold_s is None
+                or self.path is None
+                or elapsed_s < self.threshold_s
+            ):
+                return False
+            line = json.dumps(record, sort_keys=True, default=str)
+            try:
+                self._rotate_if_needed(len(line) + 1)
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+            except OSError:
+                return False
+            self.records_written += 1
+            return True
+
+    def _rotate_if_needed(self, incoming_bytes: int) -> None:
+        """Rotate ``path`` -> ``path.1`` -> ... when the active file would
+        pass ``max_bytes``; the oldest generation falls off."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return  # no active file yet
+        if size + incoming_bytes <= self.max_bytes:
+            return
+        for generation in range(self.backups, 0, -1):
+            src = (
+                self.path
+                if generation == 1
+                else f"{self.path}.{generation - 1}"
+            )
+            dst = f"{self.path}.{generation}"
+            if os.path.exists(src):
+                os.replace(src, dst)
+        if self.backups == 0:
+            os.remove(self.path)
+
+    # -- introspection -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "path": self.path,
+            "threshold_s": self.threshold_s,
+            "max_bytes": self.max_bytes,
+            "backups": self.backups,
+            "records_written": self.records_written,
+        }
+
+    def __repr__(self) -> str:
+        state = (
+            f"threshold={self.threshold_s}s path={self.path!r}"
+            if self.enabled
+            else "disabled"
+        )
+        return f"SlowQueryLog({state})"

@@ -163,9 +163,11 @@ class QueryStatsStore:
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition format (0.0.4): ``# HELP``/``# TYPE``
-        headers, one sample per line, the fingerprint as ``query`` label."""
+    def prom_families(self) -> list:
+        """The ``repro_query_*`` families (one sample per fingerprint)
+        for the shared exporter (:mod:`repro.obs.prom`)."""
+        from .prom import MetricFamily
+
         metrics = [
             ("repro_query_calls_total", "counter",
              "Executions per query fingerprint",
@@ -196,14 +198,20 @@ class QueryStatsStore:
              lambda e: e.failovers),
         ]
         entries = self.entries()
-        lines: list[str] = []
+        families = []
         for name, kind, help_text, value_of in metrics:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} {kind}")
+            family = MetricFamily(name, kind, help_text)
             for entry in entries:
-                label = _escape_label(entry.fingerprint)
-                lines.append(f'{name}{{query="{label}"}} {value_of(entry)}')
-        return "\n".join(lines) + "\n"
+                family.add(value_of(entry), query=entry.fingerprint)
+            families.append(family)
+        return families
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4): ``# HELP``/``# TYPE``
+        headers, one sample per line, the fingerprint as ``query`` label."""
+        from .prom import render
+
+        return render(self.prom_families())
 
     def render(self, limit: int = 50) -> str:
         """The ``\\stats`` table: entries by cumulative time, descending."""
@@ -233,10 +241,3 @@ class QueryStatsStore:
                 f"{e.rows:>8}  {parts:>10}  {query}"
             )
         return "\n".join(lines)
-
-
-def _escape_label(value: str) -> str:
-    """Escape a Prometheus label value (backslash, quote, newline)."""
-    return (
-        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-    )

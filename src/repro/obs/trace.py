@@ -35,10 +35,42 @@ from typing import Any, Iterator
 #: the active tracer (None = tracing off); set only via :class:`activate`
 _active: "Tracer | None" = None
 
+#: per-thread phase sink (None = nobody listening); set via :class:`feed_phases`
+_phase_sinks = threading.local()
+
 
 def current() -> "Tracer | None":
     """The active tracer, or None when tracing is off."""
     return _active
+
+
+class feed_phases:
+    """Context manager feeding lifecycle span *names* to ``sink``.
+
+    The live activity registry (:mod:`repro.obs.live`) uses this to learn
+    a running query's current phase without new instrumentation sites:
+    every :func:`span` call — which happens per phase / per slice, never
+    per row, and fires even when tracing is off — also notifies the
+    thread's installed sink.  Scoped per thread so concurrent serving
+    queries each feed their own activity record; worker-thread
+    :func:`worker_span` calls are deliberately not hooked (the lifecycle
+    thread owns the record).  Nesting restores the previous sink.
+    """
+
+    __slots__ = ("sink", "_previous")
+
+    def __init__(self, sink):
+        self.sink = sink
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = getattr(_phase_sinks, "sink", None)
+        _phase_sinks.sink = self.sink
+        return self.sink
+
+    def __exit__(self, *exc) -> bool:
+        _phase_sinks.sink = self._previous
+        return False
 
 
 class activate:
@@ -85,8 +117,13 @@ def span(name: str, **attrs):
     """A span on the active tracer, or a no-op when tracing is off.
 
     This is the one call instrumented code makes; the off path is a
-    module-global read plus one branch.
+    module-global read plus one branch (plus one thread-local read for
+    the :class:`feed_phases` hook — still per phase/slice, never per
+    row).
     """
+    sink = getattr(_phase_sinks, "sink", None)
+    if sink is not None:
+        sink(name)
     tracer = _active
     if tracer is None:
         return _NULL_SPAN

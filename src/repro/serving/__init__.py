@@ -15,12 +15,16 @@ Layering, outermost first:
   worker-width degradation.
 * :class:`QueryScheduler` — the one shared segment-worker pool all
   admitted queries multiplex onto.
+* :class:`ScrapeServer` — HTTP sidecar serving ``/metrics``,
+  ``/healthz`` and ``/activity`` for monitoring systems
+  (:meth:`~repro.engine.Database.serve_scrape`).
 """
 
 from ..errors import ServerOverloaded
 from .admission import AdmissionController, AdmissionSlot, ServingConfig
 from .netserver import EOT, NetServer
 from .scheduler import QueryScheduler
+from .scrape import ScrapeServer
 from .server import QueryServer, ServingStats
 from .session import Session
 
@@ -30,6 +34,7 @@ __all__ = [
     "ServingConfig",
     "QueryScheduler",
     "QueryServer",
+    "ScrapeServer",
     "ServingStats",
     "Session",
     "NetServer",

@@ -26,6 +26,24 @@ from ..executor.scheduler import SegmentScheduler
 __all__ = ["QueryScheduler"]
 
 
+class _BusyCounter:
+    """Pool occupancy: instances currently running on the shared pool."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def enter(self) -> None:
+        with self._lock:
+            self.value += 1
+
+    def leave(self) -> None:
+        with self._lock:
+            self.value -= 1
+
+
 class QueryScheduler:
     """One shared worker pool multiplexing every admitted query."""
 
@@ -40,6 +58,8 @@ class QueryScheduler:
         self._closed = False
         #: SegmentScheduler views handed out (cumulative; observability)
         self.views_created = 0
+        #: instances currently occupying pool workers (live gauge source)
+        self._busy = _BusyCounter()
 
     def segment_scheduler(self, workers: int) -> SegmentScheduler:
         """A per-query scheduler over the shared pool.
@@ -55,7 +75,13 @@ class QueryScheduler:
             self.views_created += 1
             if workers <= 1:
                 return SegmentScheduler(1)
-            return SegmentScheduler(workers, pool=self._pool)
+            return SegmentScheduler(workers, pool=self._pool, busy=self._busy)
+
+    def busy_fraction(self) -> float:
+        """Fraction of pool workers currently running an instance (may
+        briefly read above 1.0 while submitted instances outnumber
+        workers)."""
+        return self._busy.value / self.pool_workers
 
     @property
     def closed(self) -> bool:

@@ -151,51 +151,77 @@ class QueryServer:
         if requested is None:
             requested = self.db.executor.workers
         started = time.perf_counter()
-        try:
-            with obs_trace.span(
-                "queue", session=session.name, workers=requested
-            ):
-                slot = self.admission.acquire(session.session_id, requested)
-        except ServerOverloaded:
-            session.rejected += 1
-            raise
+        # Register with the live activity registry BEFORE admission, so a
+        # statement waiting in the run queue is already visible (phase
+        # "queue") in \activity; db.sql() completes the record, except on
+        # the shed/pre-admission paths where it is never reached.
         token = cancel if cancel is not None else CancelToken()
-        session._register(token)
-        segment_scheduler = self.scheduler.segment_scheduler(
-            slot.effective_workers
+        activity = self.db.live.begin(
+            query, session=session.name, workers=requested, cancel=token
         )
         try:
-            with obs_trace.span(
-                "admit",
-                session=session.name,
-                workers=slot.effective_workers,
-                degraded=slot.degraded,
-            ):
-                result = self.db.sql(
-                    query,
-                    optimizer=(
-                        optimizer
-                        if optimizer is not None
-                        else (session.optimizer or "orca")
-                    ),
-                    params=params,
-                    analyze=analyze,
-                    trace=trace,
-                    timeout=timeout if timeout is not None else session.timeout,
-                    max_rows=(
-                        max_rows if max_rows is not None else session.max_rows
-                    ),
-                    cancel=token,
-                    workers=slot.effective_workers,
-                    cache=cache if cache is not None else session.cache,
-                    faults=session.faults,
-                    scheduler=segment_scheduler,
-                    **options,
+            with obs_trace.feed_phases(activity.enter_phase):
+                try:
+                    with obs_trace.span(
+                        "queue", session=session.name, workers=requested
+                    ):
+                        slot = self.admission.acquire(
+                            session.session_id, requested
+                        )
+                except ServerOverloaded:
+                    session.rejected += 1
+                    raise
+                activity.queued_seconds = slot.queued_seconds
+                activity.workers = slot.effective_workers
+                session._register(token)
+                segment_scheduler = self.scheduler.segment_scheduler(
+                    slot.effective_workers
                 )
-        finally:
-            segment_scheduler.close()
-            session._unregister(token)
-            self.admission.release(slot)
+                try:
+                    with obs_trace.span(
+                        "admit",
+                        session=session.name,
+                        workers=slot.effective_workers,
+                        degraded=slot.degraded,
+                    ):
+                        result = self.db.sql(
+                            query,
+                            optimizer=(
+                                optimizer
+                                if optimizer is not None
+                                else (session.optimizer or "orca")
+                            ),
+                            params=params,
+                            analyze=analyze,
+                            trace=trace,
+                            timeout=(
+                                timeout
+                                if timeout is not None
+                                else session.timeout
+                            ),
+                            max_rows=(
+                                max_rows
+                                if max_rows is not None
+                                else session.max_rows
+                            ),
+                            cancel=token,
+                            workers=slot.effective_workers,
+                            cache=cache if cache is not None else session.cache,
+                            faults=session.faults,
+                            scheduler=segment_scheduler,
+                            activity=activity,
+                            **options,
+                        )
+                finally:
+                    segment_scheduler.close()
+                    session._unregister(token)
+                    self.admission.release(slot)
+        except BaseException as error:
+            # db.sql() completes the activity for every error it saw; the
+            # shed / pre-admission failures never reach it.
+            if self.db.live.activity.get(activity.query_id) is not None:
+                self.db.live.complete(activity, error=error)
+            raise
         latency = time.perf_counter() - started
         session.admitted += 1
         self.stats.record(session.name, latency)
@@ -239,92 +265,83 @@ class QueryServer:
             "closed": self._closed,
         }
 
+    def prom_families(self) -> list:
+        """The ``repro_serving_*`` families for the shared exporter
+        (:mod:`repro.obs.prom`)."""
+        from ..obs.prom import MetricFamily
+
+        snapshot = self.admission.stats()
+        rejected = MetricFamily(
+            "repro_serving_rejected_total",
+            "counter",
+            "Queries shed by admission control",
+        )
+        for reason in sorted(snapshot["rejected"]):
+            rejected.add(snapshot["rejected"][reason], reason=reason)
+        with self._lock:
+            sessions = list(self._sessions.values())
+        session_inflight = MetricFamily(
+            "repro_serving_session_inflight",
+            "gauge",
+            "Queries in flight per session",
+        )
+        for session in sorted(sessions, key=lambda s: s.name):
+            session_inflight.add(session.inflight, session=session.name)
+        latency = MetricFamily(
+            "repro_serving_session_latency_seconds",
+            "gauge",
+            "Per-session query latency quantiles",
+        )
+        for name, summary in self.stats.to_dict().items():
+            for quantile, key in (("0.5", "p50_s"), ("0.99", "p99_s")):
+                latency.add(summary[key], session=name, quantile=quantile)
+        return [
+            MetricFamily(
+                "repro_serving_admitted_total",
+                "counter",
+                "Queries admitted past admission control",
+            ).add(snapshot["admitted"]),
+            rejected,
+            MetricFamily(
+                "repro_serving_degraded_total",
+                "counter",
+                "Grants clamped below their requested worker width",
+            ).add(snapshot["degraded_grants"]),
+            MetricFamily(
+                "repro_serving_queued_seconds_total",
+                "counter",
+                "Total time admitted queries waited in the run queue",
+            ).add(round(snapshot["queued_seconds_total"], 6)),
+            MetricFamily(
+                "repro_serving_queue_depth",
+                "gauge",
+                "Queries currently waiting in the run queue",
+            ).add(snapshot["queue_depth"]),
+            MetricFamily(
+                "repro_serving_inflight",
+                "gauge",
+                "Queries currently executing",
+            ).add(snapshot["inflight"]),
+            MetricFamily(
+                "repro_serving_pool_workers",
+                "gauge",
+                "Width of the shared segment-worker pool",
+            ).add(self.scheduler.pool_workers),
+            MetricFamily(
+                "repro_serving_sessions_open",
+                "gauge",
+                "Serving sessions currently open",
+            ).add(len(sessions)),
+            session_inflight,
+            latency,
+        ]
+
     def to_prometheus(self) -> str:
         """``repro_serving_*`` families (same text-exposition style as
         the stats-store and cache exporters)."""
-        snapshot = self.admission.stats()
-        lines: list[str] = []
+        from ..obs.prom import render
 
-        def counter(name: str, help_text: str, value) -> None:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {value}")
-
-        def gauge(name: str, help_text: str, value) -> None:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {value}")
-
-        counter(
-            "repro_serving_admitted_total",
-            "Queries admitted past admission control",
-            snapshot["admitted"],
-        )
-        lines.append(
-            "# HELP repro_serving_rejected_total Queries shed by admission "
-            "control"
-        )
-        lines.append("# TYPE repro_serving_rejected_total counter")
-        for reason in sorted(snapshot["rejected"]):
-            lines.append(
-                f'repro_serving_rejected_total{{reason="{reason}"}} '
-                f"{snapshot['rejected'][reason]}"
-            )
-        counter(
-            "repro_serving_degraded_total",
-            "Grants clamped below their requested worker width",
-            snapshot["degraded_grants"],
-        )
-        counter(
-            "repro_serving_queued_seconds_total",
-            "Total time admitted queries waited in the run queue",
-            round(snapshot["queued_seconds_total"], 6),
-        )
-        gauge(
-            "repro_serving_queue_depth",
-            "Queries currently waiting in the run queue",
-            snapshot["queue_depth"],
-        )
-        gauge(
-            "repro_serving_inflight",
-            "Queries currently executing",
-            snapshot["inflight"],
-        )
-        gauge(
-            "repro_serving_pool_workers",
-            "Width of the shared segment-worker pool",
-            self.scheduler.pool_workers,
-        )
-        with self._lock:
-            sessions = list(self._sessions.values())
-        gauge(
-            "repro_serving_sessions_open",
-            "Serving sessions currently open",
-            len(sessions),
-        )
-        lines.append(
-            "# HELP repro_serving_session_inflight Queries in flight per "
-            "session"
-        )
-        lines.append("# TYPE repro_serving_session_inflight gauge")
-        for session in sorted(sessions, key=lambda s: s.name):
-            lines.append(
-                f'repro_serving_session_inflight{{session="{session.name}"}} '
-                f"{session.inflight}"
-            )
-        lines.append(
-            "# HELP repro_serving_session_latency_seconds Per-session query "
-            "latency quantiles"
-        )
-        lines.append("# TYPE repro_serving_session_latency_seconds gauge")
-        for name, summary in self.stats.to_dict().items():
-            for quantile, key in (("0.5", "p50_s"), ("0.99", "p99_s")):
-                lines.append(
-                    f"repro_serving_session_latency_seconds"
-                    f'{{session="{name}",quantile="{quantile}"}} '
-                    f"{summary[key]}"
-                )
-        return "\n".join(lines) + "\n"
+        return render(self.prom_families())
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -192,7 +192,7 @@ def test_metrics_json_round_trip(orders_db):
     )
     result = orders_db.sql(sql, analyze=True)
     data = json.loads(result.metrics.to_json())
-    assert data["schema_version"] == 6
+    assert data["schema_version"] == 7
     assert data["num_segments"] == SEGMENTS
     assert data["timing_collected"] is True
     # Every v1/v2 field survives in v3, plus the additive trace and
@@ -252,17 +252,16 @@ def test_explain_analyze_rendering(orders_db):
     assert "Slice 0 (root):" in text
 
 
-def test_tracker_alias_warns_but_still_works(orders_db):
+def test_tracker_alias_removed(orders_db):
     import warnings
 
     result = orders_db.sql(
         "SELECT * FROM orders WHERE date = '05-15-2013'"
     )
-    with pytest.warns(DeprecationWarning, match="per-node"):
-        tracker = result.tracker
-    assert tracker is result.metrics.tracker
-    assert tracker.partitions_scanned("orders") == 1
-    # The metrics-based replacements carry no warning.
+    # The deprecated result.tracker alias is gone; the per-node metrics
+    # views are the interface, and they carry no warning.
+    assert not hasattr(result, "tracker")
+    assert result.metrics.tracker.partitions_scanned("orders") == 1
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         assert result.rows_scanned == result.metrics.total_rows_scanned

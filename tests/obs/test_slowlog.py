@@ -1,0 +1,101 @@
+"""The structured slow-query log: threshold gating, JSONL shape,
+size-based rotation, and the engine integration (``SET slow_log`` wires
+``db.live.slow_log``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.slowlog import SlowQueryLog
+
+from ..serving.conftest import make_orders_db
+
+
+def test_disabled_by_default(tmp_path):
+    log = SlowQueryLog()
+    assert log.enabled is False
+    assert log.maybe_record(10.0, {"q": 1}) is False
+    # a threshold alone is not enough: a path is required too
+    log.configure(threshold_s=0.0)
+    assert log.enabled is False
+    assert log.maybe_record(10.0, {"q": 1}) is False
+    log.configure(threshold_s=0.0, path=str(tmp_path / "slow.jsonl"))
+    assert log.enabled is True
+    log.configure(threshold_s=None)
+    assert log.enabled is False
+
+
+def test_threshold_gates_and_jsonl_shape(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    log = SlowQueryLog(path=str(path), threshold_s=0.5)
+    assert log.maybe_record(0.4, {"query": "fast"}) is False
+    assert not path.exists()
+    assert log.maybe_record(0.5, {"query": "am I slow?", "n": 1}) is True
+    assert log.maybe_record(0.9, {"query": 'quo"ted', "n": 2}) is True
+    assert log.records_written == 2
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[0] == {"query": "am I slow?", "n": 1}
+    assert records[1]["query"] == 'quo"ted'
+    # stable key order: keys are sorted within each line
+    for line in lines:
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+
+def test_rotation_chain_keeps_bounded_generations(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    record = {"pad": "x" * 100}
+    line_bytes = len(json.dumps(record, sort_keys=True)) + 1
+    log = SlowQueryLog(
+        path=str(path),
+        threshold_s=0.0,
+        max_bytes=line_bytes,  # every write after the first rotates
+        backups=2,
+    )
+    for _ in range(5):
+        assert log.maybe_record(1.0, record) is True
+    # active file + exactly `backups` generations, oldest fell off
+    assert path.exists()
+    assert (tmp_path / "slow.jsonl.1").exists()
+    assert (tmp_path / "slow.jsonl.2").exists()
+    assert not (tmp_path / "slow.jsonl.3").exists()
+    # every surviving file holds intact JSONL
+    for name in ("slow.jsonl", "slow.jsonl.1", "slow.jsonl.2"):
+        for line in (tmp_path / name).read_text().splitlines():
+            assert json.loads(line) == record
+
+
+def test_write_errors_never_raise(tmp_path):
+    log = SlowQueryLog(
+        path=str(tmp_path / "no" / "such" / "dir" / "slow.jsonl"),
+        threshold_s=0.0,
+    )
+    assert log.maybe_record(1.0, {"q": 1}) is False
+    assert log.records_written == 0
+
+
+def test_engine_records_slow_queries_with_phase_timings(tmp_path):
+    db = make_orders_db(rows=200, num_segments=2)
+    path = tmp_path / "slow.jsonl"
+    db.live.slow_log.configure(threshold_s=0.0, path=str(path))
+    db.sql("SELECT count(*) FROM orders")
+    records = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert len(records) == 1
+    (record,) = records
+    assert record["query"] == "SELECT count(*) FROM orders"
+    assert record["phase"] == "done"
+    assert record["error"] is None
+    assert record["elapsed_s"] > 0.0
+    assert record["partitions_eligible"] == 24
+    phases = [t["phase"] for t in record["phase_timings"]]
+    assert phases[:2] == ["parse", "bind"]
+    assert "execute" in phases
+    # below-threshold queries stay out once a real threshold is set
+    db.live.slow_log.configure(threshold_s=60.0, path=str(path))
+    db.sql("SELECT count(*) FROM orders")
+    assert db.live.slow_log.records_written == 1

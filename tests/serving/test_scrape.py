@@ -1,0 +1,128 @@
+"""The HTTP scrape sidecar: /metrics, /healthz and /activity served over
+real sockets, health status-code contract, and lifecycle (ticker
+ownership, idempotent close)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving.scrape import PROM_CONTENT_TYPE, ScrapeServer
+
+COUNT = "SELECT count(*) FROM orders"
+
+
+def _get(server, path):
+    """(status, content_type, body) for one GET against the sidecar."""
+    try:
+        with urllib.request.urlopen(server.address + path, timeout=5.0) as r:
+            return r.status, r.headers["Content-Type"], r.read().decode()
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            error.headers["Content-Type"],
+            error.read().decode(),
+        )
+
+
+@pytest.fixture()
+def scrape(fresh_db):
+    server = fresh_db.serve_scrape()
+    yield fresh_db, server
+    server.close()
+
+
+def test_metrics_endpoint_serves_consolidated_exporter(scrape):
+    db, server = scrape
+    db.sql(COUNT)
+    status, content_type, body = _get(server, "/metrics")
+    assert status == 200
+    assert content_type == PROM_CONTENT_TYPE
+    # families from every subsystem, one exporter
+    assert "# TYPE repro_query_calls_total counter" in body
+    assert "# TYPE repro_cache_hits_total counter" in body
+    assert "# TYPE repro_live_query_seconds histogram" in body
+    assert "repro_live_queries_completed_total 1" in body
+    # the scrape polled the gauge sources, so sampled series are present
+    assert 'repro_live_sample{series="queries_in_flight"} 0' in body
+
+
+def test_healthz_ok_degraded_unhealthy(scrape):
+    db, server = scrape
+    status, _, body = _get(server, "/healthz")
+    health = json.loads(body)
+    assert (status, health["status"]) == (200, "ok")
+    assert health["double_faults"] == []
+    # primary down, mirror up: reads still work -> degraded but 200
+    db.health.failover(1, reason="test")
+    status, _, body = _get(server, "/healthz")
+    health = json.loads(body)
+    assert (status, health["status"]) == (200, "degraded")
+    assert 1 in health["down_segments"]
+    # mirror gone too: data unreachable -> 503
+    db.health.mark_mirror_down(1)
+    status, _, body = _get(server, "/healthz")
+    health = json.loads(body)
+    assert (status, health["status"]) == (503, "unhealthy")
+    assert health["double_faults"] == [1]
+
+
+def test_activity_endpoint_reports_registry_and_counters(scrape):
+    db, server = scrape
+    db.sql(COUNT)
+    with pytest.raises(Exception):
+        db.sql("SELECT nope FROM orders")
+    status, content_type, body = _get(server, "/activity")
+    assert status == 200
+    assert content_type.startswith("application/json")
+    activity = json.loads(body)
+    assert activity["in_flight"] == []
+    assert activity["completed"] == 1
+    assert activity["failed"] == 1
+    assert activity["slow_log"]["enabled"] is False
+
+
+def test_unknown_path_404_lists_endpoints(scrape):
+    _, server = scrape
+    status, _, body = _get(server, "/nope")
+    assert status == 404
+    payload = json.loads(body)
+    assert payload["paths"] == ["/metrics", "/healthz", "/activity"]
+    # trailing slashes and query strings normalise onto the real paths
+    assert _get(server, "/metrics/")[0] == 200
+    assert _get(server, "/healthz?verbose=1")[0] == 200
+
+
+def test_scrape_server_owns_the_ticker(fresh_db):
+    assert not fresh_db.live.ticker_running
+    server = fresh_db.serve_scrape()
+    assert fresh_db.live.ticker_running
+    server.close()
+    assert server.closed
+    assert not fresh_db.live.ticker_running
+    server.close()  # idempotent
+    # a ticker the caller started is left running on close
+    fresh_db.live.start_ticker()
+    second = fresh_db.serve_scrape()
+    second.close()
+    assert fresh_db.live.ticker_running
+    fresh_db.live.stop_ticker()
+
+
+def test_two_sidecars_serve_their_own_database():
+    from .conftest import make_orders_db
+
+    first_db = make_orders_db(rows=100, num_segments=2)
+    second_db = make_orders_db(rows=100, num_segments=2)
+    first_db.sql(COUNT)
+    with ScrapeServer(first_db) as first, ScrapeServer(second_db) as second:
+        assert first.port != second.port
+        assert "repro_live_queries_completed_total 1" in _get(
+            first, "/metrics"
+        )[2]
+        assert "repro_live_queries_completed_total 0" in _get(
+            second, "/metrics"
+        )[2]

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""End-to-end scrape-endpoint smoke over the real ``--serve`` process.
+
+Boots ``python -m repro --serve 0 --metrics-port 0`` as a subprocess,
+loads the demo dataset through the network REPL protocol, drives
+concurrent query clients, and scrapes ``/metrics``, ``/healthz`` and
+``/activity`` while they run.  Asserts the exposition bodies are
+well-formed: every Prometheus family has exactly one HELP/TYPE pair,
+histogram buckets are cumulative and end at ``+Inf``, ``/healthz``
+reports every segment up, and ``/activity`` accounts for every
+statement the clients ran.
+
+Usage::
+
+    PYTHONPATH=src python tools/scrape_smoke.py [--clients N]
+
+Exits non-zero listing every failed expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+QUERIES = [
+    "SELECT count(*) FROM orders "
+    "WHERE date BETWEEN '10-01-2013' AND '12-31-2013';",
+    "SELECT avg(amount) FROM orders WHERE date = '05-15-2013';",
+    "SELECT count(*) FROM date_dim;",
+]
+
+#: families the consolidated exporter must serve once queries have run
+REQUIRED_FAMILIES = [
+    "repro_query_calls_total",
+    "repro_cache_hits_total",
+    "repro_serving_admitted_total",
+    "repro_live_queries",
+    "repro_live_queries_completed_total",
+    "repro_live_query_seconds",
+    "repro_live_sample",
+]
+
+
+class Client:
+    """Tiny framed client over the newline/EOT protocol."""
+
+    EOT = b"\x04\n"
+
+    def __init__(self, host: str, port: int):
+        self._conn = socket.create_connection((host, port), timeout=30)
+        self._stream = self._conn.makefile("rwb")
+
+    def rpc(self, line: str) -> str:
+        self._stream.write(line.encode() + b"\n")
+        self._stream.flush()
+        out = []
+        while True:
+            raw = self._stream.readline()
+            if not raw or raw == self.EOT:
+                break
+            out.append(raw.decode().rstrip("\n"))
+        return "\n".join(out)
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+def start_server() -> tuple[subprocess.Popen, tuple[str, int], str]:
+    """Spawn ``--serve`` and parse the two announced addresses."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve", "0", "--metrics-port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    query_address: tuple[str, int] | None = None
+    scrape_address: str | None = None
+    deadline = time.monotonic() + 30.0
+    lines: list[str] = []
+
+    def pump():
+        for line in process.stdout:
+            lines.append(line.rstrip("\n"))
+
+    reader = threading.Thread(target=pump, daemon=True)
+    reader.start()
+    while time.monotonic() < deadline:
+        for line in list(lines):
+            match = re.search(r"repro serving on (\S+):(\d+)", line)
+            if match:
+                query_address = (match.group(1), int(match.group(2)))
+            match = re.search(r"scrape endpoints on (http://\S+)", line)
+            if match:
+                scrape_address = match.group(1)
+        if query_address and scrape_address:
+            return process, query_address, scrape_address
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    process.kill()
+    raise RuntimeError(f"server never announced its ports: {lines}")
+
+
+def get(base: str, path: str) -> tuple[int, str, str]:
+    try:
+        with urllib.request.urlopen(base + path, timeout=10.0) as response:
+            return (
+                response.status,
+                response.headers["Content-Type"],
+                response.read().decode(),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers["Content-Type"], error.read().decode()
+
+
+def check_metrics(body: str, failures: list[str]) -> None:
+    families = dict(re.findall(r"# TYPE (\S+) (\S+)", body))
+    for name in REQUIRED_FAMILIES:
+        if name not in families:
+            failures.append(f"/metrics missing family {name}")
+    for name in families:
+        if body.count(f"# HELP {name} ") != 1:
+            failures.append(f"/metrics family {name}: HELP count != 1")
+        if body.count(f"# TYPE {name} ") != 1:
+            failures.append(f"/metrics family {name}: TYPE count != 1")
+    for name, kind in families.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            (le, float(value))
+            for le, value in re.findall(
+                rf'{name}_bucket\{{le="([^"]+)"\}} (\S+)', body
+            )
+        ]
+        if not buckets or buckets[-1][0] != "+Inf":
+            failures.append(f"/metrics histogram {name}: no +Inf bucket")
+            continue
+        values = [value for _, value in buckets]
+        if values != sorted(values):
+            failures.append(f"/metrics histogram {name}: non-monotonic")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    process, (host, port), scrape = start_server()
+    try:
+        loader = Client(host, port)
+        loader.rpc("\\demo")
+
+        clients = [Client(host, port) for _ in range(args.clients)]
+        results: dict[int, list[str]] = {}
+
+        def drive(index: int) -> None:
+            results[index] = [clients[index].rpc(q) for q in QUERIES]
+
+        threads = [
+            threading.Thread(target=drive, args=(i,))
+            for i in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        # scrape while the clients are in flight
+        mid_status, _, _ = get(scrape, "/metrics")
+        if mid_status != 200:
+            failures.append(f"mid-flight /metrics returned {mid_status}")
+        for thread in threads:
+            thread.join(timeout=120.0)
+            if thread.is_alive():
+                failures.append("client thread hung")
+        for index, answers in sorted(results.items()):
+            for query, answer in zip(QUERIES, answers):
+                if "rows)" not in answer and "row)" not in answer:
+                    failures.append(
+                        f"client {index}: no rows for {query!r}: {answer!r}"
+                    )
+
+        status, content_type, body = get(scrape, "/metrics")
+        if status != 200:
+            failures.append(f"/metrics returned {status}")
+        if not content_type.startswith("text/plain; version=0.0.4"):
+            failures.append(f"/metrics content-type {content_type!r}")
+        check_metrics(body, failures)
+
+        status, _, body = get(scrape, "/healthz")
+        health = json.loads(body)
+        if status != 200 or health["status"] != "ok":
+            failures.append(f"/healthz {status}: {health}")
+        if health["primaries"] != ["up"] * 4:
+            failures.append(f"/healthz primaries: {health['primaries']}")
+
+        status, _, body = get(scrape, "/activity")
+        activity = json.loads(body)
+        expected = args.clients * len(QUERIES)
+        if status != 200:
+            failures.append(f"/activity returned {status}")
+        if activity["completed"] < expected:
+            failures.append(
+                f"/activity completed {activity['completed']} < {expected}"
+            )
+        if activity["failed"] != 0:
+            failures.append(f"/activity failed = {activity['failed']}")
+
+        status, _, _ = get(scrape, "/nope")
+        if status != 404:
+            failures.append(f"unknown path returned {status}, wanted 404")
+
+        for client in clients:
+            client.rpc("\\q")
+            client.close()
+        loader.rpc("\\q")
+        loader.close()
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures:
+        return 1
+    print(
+        f"scrape smoke: OK — {args.clients} concurrent clients, "
+        f"{args.clients * len(QUERIES)} statements, "
+        "/metrics /healthz /activity all well-formed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
