@@ -209,6 +209,24 @@ class Catalog:
                 self._leaf_owner[leaf_oid] = desc
         return desc
 
+    def register_descriptor(self, desc: TableDescriptor) -> TableDescriptor:
+        """Install a pre-built descriptor with its original OIDs — the
+        recovery path, which must reproduce the catalog exactly as it was
+        (WAL records address tables and leaves by OID)."""
+        if desc.name in self._tables_by_name:
+            raise CatalogError(f"table {desc.name!r} already exists")
+        if desc.oid in self._tables_by_oid:
+            raise CatalogError(f"OID {desc.oid} already in use")
+        self._tables_by_name[desc.name] = desc
+        self._tables_by_oid[desc.oid] = desc
+        top = desc.oid
+        if desc.is_partitioned:
+            for leaf_oid in desc.all_leaf_oids():
+                self._leaf_owner[leaf_oid] = desc
+                top = max(top, leaf_oid)
+        self._next_oid = max(self._next_oid, top + 1)
+        return desc
+
     def drop_table(self, name: str) -> None:
         desc = self.table(name)
         del self._tables_by_name[name]

@@ -53,6 +53,10 @@ Meta commands:
   \\activity          in-flight queries (pg_stat_activity-style: id,
                      session, phase, elapsed, rows, partitions k/N)
   \\activity cancel ID cancel one in-flight query by its id
+  \\checkpoint        take a durability checkpoint now (snapshot buckets,
+                     truncate the WAL; needs --data-dir)
+  \\wal               WAL/checkpoint status (records, bytes, sync mode,
+                     last checkpoint LSN; needs --data-dir)
   \\help              this text
   \\q                 quit
 SET statements configure the session:
@@ -72,6 +76,9 @@ SET statements configure the session:
   SET slow_log SECONDS [PATH];  SET slow_log off;   structured slow-query
                    log: statements at/above the threshold append one JSON
                    line (phase timings, partition counters) to PATH
+  SET wal sync|async;                               fsync the WAL on every
+                   commit (sync, the default) or leave flushing to the OS
+                   (async — faster, loses the tail on a machine crash)
 SQL statements additionally support the EXPLAIN, EXPLAIN ANALYZE and
 EXPLAIN (TRACE) prefixes (ANALYZE executes the query and annotates the
 plan with per-node actual rows, partitions scanned and Motion traffic;
@@ -176,7 +183,52 @@ class ReplSession:
             return self._sessions()
         if name == "\\activity":
             return self._activity(argument)
+        if name == "\\checkpoint":
+            return self._checkpoint()
+        if name == "\\wal":
+            return self._wal()
         return f"unknown command {name!r}; try \\help"
+
+    def _checkpoint(self) -> str:
+        """``\\checkpoint`` — snapshot every segment's buckets and (when
+        all copies are caught up) truncate the WAL."""
+        try:
+            summary = self.db.checkpoint()
+        except ReproError as exc:
+            return self._error(exc)
+        truncated = "truncated" if summary["wal_truncated"] else "kept"
+        return (
+            f"checkpoint at lsn {summary['lsn']}: "
+            f"{summary['bytes']} B in {summary['seconds'] * 1000:.2f} ms, "
+            f"wal {truncated}"
+        )
+
+    def _wal(self) -> str:
+        """``\\wal`` — the durability subsystem's WAL/checkpoint status."""
+        manager = self.db.durability
+        if manager is None:
+            return "durability is off (start with --data-dir PATH)"
+        stats = manager.stats_dict()
+        lines = [
+            f"wal ({stats['wal_sync']}): {stats['wal_records']} records, "
+            f"{stats['wal_bytes']} B appended, "
+            f"{manager.wal_size_bytes()} B on disk, "
+            f"{stats['wal_fsyncs']} fsyncs",
+            f"checkpoints: {stats['checkpoints']} "
+            f"(last at lsn {stats['last_checkpoint_lsn']}, "
+            f"{stats['last_checkpoint_bytes']} B), "
+            f"{stats['wal_truncations']} truncations",
+        ]
+        if stats["recovery_replayed_records"] or stats["resync_replayed_records"]:
+            lines.append(
+                f"replay: {stats['recovery_replayed_records']} records at "
+                f"restart, {stats['resync_replayed_records']} into "
+                "rejoining copies"
+            )
+        resyncing = self.db.health.resyncing_segments
+        if resyncing:
+            lines.append(f"resyncing segments: {resyncing}")
+        return "\n".join(lines)
 
     def _activity(self, argument: str) -> str:
         """``\\activity`` — the live in-flight registry; ``\\activity
@@ -450,7 +502,26 @@ class ReplSession:
             return f"cache is {value}"
         if name == "slow_log":
             return self._set_slow_log(argument)
+        if name == "wal":
+            return self._set_wal(argument)
         return f"ERROR (sql): unknown setting {name!r}"
+
+    def _set_wal(self, argument: str) -> str:
+        """``SET wal sync|async`` — fsync the WAL on every commit, or
+        leave flushing to the OS page cache."""
+        from .durability import ASYNC, SYNC
+
+        manager = self.db.durability
+        if manager is None:
+            return (
+                "ERROR (durability): durability is off "
+                "(start with --data-dir PATH)"
+            )
+        value = argument.lower()
+        if value not in (SYNC, ASYNC):
+            return f"ERROR (sql): invalid wal mode {argument!r} (sync | async)"
+        manager.wal_sync = value
+        return f"wal is {value}"
 
     def _set_slow_log(self, argument: str) -> str:
         """``SET slow_log SECONDS [PATH]`` enables the structured
@@ -620,34 +691,42 @@ def _render(value) -> str:
 
 
 def serve_main(argv: list[str]) -> int:  # pragma: no cover - network loop
-    """``python -m repro --serve [PORT] [--metrics-port N]`` — the
-    multi-client TCP mode.
+    """``python -m repro --serve [PORT] [--metrics-port N] [--data-dir D]``
+    — the multi-client TCP mode.
 
     Each connection gets its own REPL over its own serving session; all
     connections share one database through admission control.
     ``--metrics-port`` additionally binds the HTTP scrape sidecar
     (``/metrics``, ``/healthz``, ``/activity``) and starts the live
-    telemetry ticker."""
+    telemetry ticker.  ``--data-dir`` enables the durability subsystem:
+    the WAL and checkpoints live under that directory and a restart with
+    the same path recovers the previous state (docs/durability.md)."""
     import sys
 
     from .serving import NetServer
 
     port = 0
     metrics_port: int | None = None
+    data_dir: str | None = None
     positional: list[str] = []
     words = list(argv)
     while words:
         word = words.pop(0)
-        if word == "--metrics-port":
+        if word in ("--metrics-port", "--data-dir"):
             if not words:
-                print("--metrics-port needs a value", file=sys.stderr)
+                print(f"{word} needs a value", file=sys.stderr)
                 return 2
-            word = f"--metrics-port={words.pop(0)}"
+            word = f"{word}={words.pop(0)}"
         if word.startswith("--metrics-port="):
             try:
                 metrics_port = int(word.split("=", 1)[1])
             except ValueError:
                 print(f"invalid metrics port {word!r}", file=sys.stderr)
+                return 2
+        elif word.startswith("--data-dir="):
+            data_dir = word.split("=", 1)[1]
+            if not data_dir:
+                print("--data-dir needs a value", file=sys.stderr)
                 return 2
         else:
             positional.append(word)
@@ -657,7 +736,7 @@ def serve_main(argv: list[str]) -> int:  # pragma: no cover - network loop
         except ValueError:
             print(f"invalid port {positional[0]!r}", file=sys.stderr)
             return 2
-    db = Database(num_segments=4)
+    db = Database(num_segments=4, data_dir=data_dir)
     server = NetServer(db, port=port).start()
     print(
         f"repro serving on {server.host}:{server.port} "
@@ -690,7 +769,26 @@ def main() -> int:  # pragma: no cover - interactive loop
 
     if len(sys.argv) > 1 and sys.argv[1] == "--serve":
         return serve_main(sys.argv[2:])
-    session = ReplSession()
+    data_dir: str | None = None
+    words = sys.argv[1:]
+    while words:
+        word = words.pop(0)
+        if word == "--data-dir":
+            if not words:
+                print("--data-dir needs a value", file=sys.stderr)
+                return 2
+            word = f"--data-dir={words.pop(0)}"
+        if word.startswith("--data-dir="):
+            data_dir = word.split("=", 1)[1]
+            if not data_dir:
+                print("--data-dir needs a value", file=sys.stderr)
+                return 2
+        else:
+            print(f"unknown argument {word!r}", file=sys.stderr)
+            return 2
+    session = ReplSession(
+        Database(num_segments=4, data_dir=data_dir) if data_dir else None
+    )
     interactive = sys.stdin.isatty()
     if interactive:
         print("repro shell — \\help for commands, \\demo for sample data")

@@ -1,0 +1,27 @@
+"""Durability: per-segment write-ahead logging, checkpoints, crash
+recovery, and online mirror resync.
+
+The package gives the simulator the recovery half of Greenplum's
+fault-tolerance story: PR 2's :class:`~repro.resilience.SegmentHealth`
+promotes mirrors when a primary dies; this package makes the data
+survive the *process* dying (``Database(data_dir=...)`` replays
+checkpoint + WAL tail on restart) and makes rejoining copies catch up
+on exactly the mutations they missed before they serve reads again.
+
+See ``docs/durability.md`` for the WAL format and lifecycle.
+"""
+
+from .manager import ASYNC, SYNC, DurabilityManager, WalTransaction
+from .serialize import decode_descriptor, encode_descriptor
+from .wal import WalFile, scan
+
+__all__ = [
+    "ASYNC",
+    "SYNC",
+    "DurabilityManager",
+    "WalFile",
+    "WalTransaction",
+    "decode_descriptor",
+    "encode_descriptor",
+    "scan",
+]

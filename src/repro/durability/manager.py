@@ -1,0 +1,652 @@
+"""The durability manager: WAL, checkpoints, restart recovery, resync.
+
+One :class:`DurabilityManager` owns a database instance's durable state
+under ``data_dir``::
+
+    data_dir/
+      wal/
+        seg0.wal .. segN.wal   per-segment data records (insert/delete/
+                               truncate), JSONL, CRC-stamped, LSN-ordered
+        catalog.wal            DDL records (create_table / drop_table)
+        commit.wal             commit markers: {"xid", "lsns": [...]}
+      checkpoint/              last complete snapshot (manifest.json +
+                               one seg<N>.json per segment)
+      checkpoint.old/          previous snapshot, kept during the swap
+
+**Logging.**  The storage layer applies a statement's mutations under
+the storage-wide write lock, buffering one WAL record per touched
+(segment, copies) group in a :class:`WalTransaction`; :meth:`commit`
+then assigns LSNs, appends the data records to their per-segment files,
+appends one commit marker, and fsyncs when ``wal_sync == 'sync'``.
+Recovery replays only LSNs named by a valid commit marker, so a crash
+mid-statement can never resurrect half a statement — the torn tail of
+any file is dropped wholesale.
+
+**Missed-write tracking.**  A record whose target segment had a copy
+down is still logged (the survivor applied it); its LSN is reported to
+:class:`~repro.resilience.SegmentHealth` as *missed* by that copy, and
+:meth:`resync_replay` — installed as the health resync handler — later
+replays exactly those LSNs from the segment's WAL into the rejoining
+copy.  This is the online counterpart of restart recovery.
+
+**Checkpoints.**  :meth:`checkpoint` snapshots every table's buckets
+(from whichever copy is fully caught up) plus the encoded catalog into
+``checkpoint.tmp``, atomically swaps it in (``checkpoint`` →
+``checkpoint.old`` → remove), and truncates the WAL — unless any copy
+is down or behind, in which case the log is retained for resync.
+
+**Recovery.**  :meth:`recover_into` rebuilds catalog + storage from the
+newest loadable checkpoint, then replays the committed WAL tail in LSN
+order into both copies of every segment.  Torn tails are physically
+truncated before the files reopen for append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import DurabilityError
+from ..resilience.faults import (
+    CHECKPOINT_WRITE,
+    RECOVERY_REPLAY,
+    WAL_APPEND,
+    WAL_FSYNC,
+)
+from ..resilience.health import MIRROR, PRIMARY
+from .serialize import decode_descriptor, encode_descriptor, encode_row
+from .wal import WalFile, scan
+
+if TYPE_CHECKING:
+    from ..catalog import Catalog
+    from ..storage import StorageManager
+
+SYNC = "sync"
+ASYNC = "async"
+
+#: pseudo-segment label for the shared catalog / commit logs in fault calls
+SHARED_SEGMENT = -1
+
+
+class WalTransaction:
+    """Buffered WAL records for one statement on one table."""
+
+    __slots__ = ("table_oid", "xid", "ops", "_insert_groups")
+
+    def __init__(self, table_oid: int, xid: int):
+        self.table_oid = table_oid
+        self.xid = xid
+        #: fully-formed records (minus lsn/xid), in buffer order
+        self.ops: list[dict] = []
+        # rows inserted into the same segment under the same copies
+        # decision share one record
+        self._insert_groups: dict[tuple, dict] = {}
+
+    def add_insert(
+        self,
+        segment: int,
+        leaf_oid: int,
+        row: tuple,
+        primary: bool,
+        mirror: bool,
+    ) -> None:
+        key = (segment, primary, mirror)
+        group = self._insert_groups.get(key)
+        if group is None:
+            group = {
+                "type": "insert",
+                "table": self.table_oid,
+                "segment": segment,
+                "rows": [],
+                "copies": [primary, mirror],
+            }
+            self._insert_groups[key] = group
+            self.ops.append(group)
+        group["rows"].append([leaf_oid, encode_row(row)])
+
+    def add_delete(
+        self,
+        segment: int,
+        leaf_oid: int,
+        rows: list[tuple],
+        primary: bool,
+        mirror: bool,
+    ) -> None:
+        self.ops.append(
+            {
+                "type": "delete",
+                "table": self.table_oid,
+                "segment": segment,
+                "leaf": leaf_oid,
+                "rows": [encode_row(row) for row in rows],
+                "copies": [primary, mirror],
+            }
+        )
+
+    def add_truncate(self, segment: int, primary: bool, mirror: bool) -> None:
+        self.ops.append(
+            {
+                "type": "truncate",
+                "table": self.table_oid,
+                "segment": segment,
+                "copies": [primary, mirror],
+            }
+        )
+
+
+class DurabilityManager:
+    """WAL + checkpoint + recovery for one database instance."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        num_segments: int,
+        wal_sync: str = SYNC,
+        faults=None,
+    ):
+        if wal_sync not in (SYNC, ASYNC):
+            raise DurabilityError(
+                f"wal_sync must be {SYNC!r} or {ASYNC!r}, got {wal_sync!r}"
+            )
+        self.data_dir = Path(data_dir)
+        self.num_segments = num_segments
+        self.wal_sync = wal_sync
+        self.faults = faults
+        self.health = None  # set by StorageManager.attach_durability
+        self.storage: "StorageManager | None" = None
+        #: allocates LSNs/xids; commits already run under the storage
+        #: write lock, but checkpoint counters and the background thread
+        #: need their own protection
+        self._lock = threading.RLock()
+        self._next_lsn = 1
+        self._next_xid = 1
+        # -- durable files ------------------------------------------------
+        self.wal_dir = self.data_dir / "wal"
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self._segment_wals: list[WalFile] = []
+        self._catalog_wal: WalFile | None = None
+        self._commit_wal: WalFile | None = None
+        # -- counters (the metrics "durability" section) -------------------
+        self.wal_records = 0
+        self.wal_bytes = 0
+        self.wal_fsyncs = 0
+        self.checkpoints = 0
+        self.last_checkpoint_seconds = 0.0
+        self.checkpoint_seconds_total = 0.0
+        self.last_checkpoint_bytes = 0
+        self.last_checkpoint_lsn = 0
+        self.wal_truncations = 0
+        self.recovery_replayed_records = 0
+        self.recovery_checkpoint_lsn = 0
+        self.resync_replayed_records = 0
+        # -- background checkpointer ---------------------------------------
+        self._ticker: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- paths --------------------------------------------------------------
+
+    def _segment_wal_path(self, segment: int) -> Path:
+        return self.wal_dir / f"seg{segment}.wal"
+
+    @property
+    def _catalog_wal_path(self) -> Path:
+        return self.wal_dir / "catalog.wal"
+
+    @property
+    def _commit_wal_path(self) -> Path:
+        return self.wal_dir / "commit.wal"
+
+    @property
+    def checkpoint_dir(self) -> Path:
+        return self.data_dir / "checkpoint"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def current_lsn(self) -> int:
+        """The LSN of the most recently assigned record (health stamps
+        failover events with this)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    def recover_into(self, catalog: "Catalog", storage: "StorageManager") -> None:
+        """Rebuild ``catalog`` + ``storage`` from checkpoint + WAL tail,
+        then open the logs for append (torn tails truncated)."""
+        self.storage = storage
+        self.health = storage.health
+        checkpoint_lsn = self._load_checkpoint(catalog, storage)
+        self.recovery_checkpoint_lsn = checkpoint_lsn
+
+        # open every log, truncating torn tails, collecting valid records
+        self._commit_wal, commit_records = WalFile.open(self._commit_wal_path)
+        self._catalog_wal, ddl_records = WalFile.open(self._catalog_wal_path)
+        data_records: list[dict] = []
+        self._segment_wals = []
+        for segment in range(self.num_segments):
+            wal, records = WalFile.open(self._segment_wal_path(segment))
+            self._segment_wals.append(wal)
+            data_records.extend(records)
+
+        committed: set[int] = set()
+        max_xid = 0
+        for record in commit_records:
+            committed.update(record["lsns"])
+            max_xid = max(max_xid, record["xid"])
+        tail = sorted(
+            (
+                r
+                for r in ddl_records + data_records
+                if r["lsn"] > checkpoint_lsn and r["lsn"] in committed
+            ),
+            key=lambda r: r["lsn"],
+        )
+        for record in tail:
+            self._fire(RECOVERY_REPLAY, record.get("segment", SHARED_SEGMENT))
+            self._replay(record, catalog, storage)
+            self.recovery_replayed_records += 1
+
+        seen = [r["lsn"] for r in ddl_records + data_records]
+        with self._lock:
+            self._next_lsn = max([checkpoint_lsn] + seen) + 1
+            self._next_xid = max_xid + 1
+
+    def close(self) -> None:
+        """Stop the background checkpointer and close the log files."""
+        self._stop.set()
+        if self._ticker is not None:
+            self._ticker.join(timeout=5.0)
+            self._ticker = None
+        for wal in self._segment_wals:
+            wal.close()
+        for wal in (self._catalog_wal, self._commit_wal):
+            if wal is not None:
+                wal.close()
+
+    def start_checkpointer(self, interval_s: float) -> None:
+        """Checkpoint every ``interval_s`` seconds on a daemon thread."""
+        if interval_s <= 0:
+            raise DurabilityError("checkpoint interval must be positive")
+        if self._ticker is not None:
+            return
+
+        def tick():
+            while not self._stop.wait(interval_s):
+                try:
+                    self.checkpoint()
+                except Exception:
+                    # a failed background checkpoint (e.g. an injected
+                    # checkpoint_write fault) must not kill the ticker;
+                    # the old checkpoint + full WAL still recover
+                    pass
+
+        self._ticker = threading.Thread(
+            target=tick, name="repro-checkpointer", daemon=True
+        )
+        self._ticker.start()
+
+    # -- logging (called by TableStore under the storage write lock) --------
+
+    def begin(self, table_oid: int) -> WalTransaction:
+        with self._lock:
+            xid = self._next_xid
+            self._next_xid += 1
+        return WalTransaction(table_oid, xid)
+
+    def commit(self, txn: WalTransaction) -> None:
+        """Assign LSNs, append the buffered records + a commit marker,
+        fsync in ``sync`` mode, and report missed LSNs to health."""
+        if not txn.ops:
+            return
+        with self._lock:
+            synced: list[WalFile] = []
+            lsns: list[int] = []
+            for op in txn.ops:
+                op["lsn"] = self._next_lsn
+                self._next_lsn += 1
+                op["xid"] = txn.xid
+                lsns.append(op["lsn"])
+                segment = op["segment"]
+                self._fire(WAL_APPEND, segment)
+                wal = self._segment_wals[segment]
+                self.wal_bytes += wal.append(op)
+                self.wal_records += 1
+                if wal not in synced:
+                    synced.append(wal)
+                primary, mirror = op["copies"]
+                if not primary:
+                    self.health.record_missed(segment, PRIMARY, [op["lsn"]])
+                if not mirror:
+                    self.health.record_missed(segment, MIRROR, [op["lsn"]])
+            if self.wal_sync == SYNC:
+                for wal in synced:
+                    self._fsync(wal)
+            self._fire(WAL_APPEND, SHARED_SEGMENT)
+            marker = {"type": "commit", "xid": txn.xid, "lsns": lsns}
+            self.wal_bytes += self._commit_wal.append(marker)
+            self.wal_records += 1
+            if self.wal_sync == SYNC:
+                self._fsync(self._commit_wal)
+
+    def log_create_table(self, descriptor) -> None:
+        self._log_ddl(
+            {
+                "type": "create_table",
+                "segment": SHARED_SEGMENT,
+                "table": descriptor.oid,
+                "table_def": encode_descriptor(descriptor),
+            }
+        )
+
+    def log_drop_table(self, descriptor) -> None:
+        self._log_ddl(
+            {
+                "type": "drop_table",
+                "segment": SHARED_SEGMENT,
+                "table": descriptor.oid,
+                "name": descriptor.name,
+            }
+        )
+
+    def _log_ddl(self, record: dict) -> None:
+        with self._lock:
+            record["lsn"] = self._next_lsn
+            self._next_lsn += 1
+            xid = self._next_xid
+            self._next_xid += 1
+            record["xid"] = xid
+            self._fire(WAL_APPEND, SHARED_SEGMENT)
+            self.wal_bytes += self._catalog_wal.append(record)
+            self.wal_records += 1
+            if self.wal_sync == SYNC:
+                self._fsync(self._catalog_wal)
+            marker = {"type": "commit", "xid": xid, "lsns": [record["lsn"]]}
+            self._fire(WAL_APPEND, SHARED_SEGMENT)
+            self.wal_bytes += self._commit_wal.append(marker)
+            self.wal_records += 1
+            if self.wal_sync == SYNC:
+                self._fsync(self._commit_wal)
+
+    def _fsync(self, wal: WalFile) -> None:
+        self._fire(WAL_FSYNC, SHARED_SEGMENT)
+        wal.sync()
+        self.wal_fsyncs += 1
+
+    def _fire(self, point: str, segment: int) -> None:
+        if self.faults is not None and self.faults.active:
+            self.faults.maybe_fire(point, segment)
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot every table + the catalog, swap it in atomically, and
+        truncate the WAL when every copy is caught up.  Returns a summary
+        dict (lsn, bytes, duration, truncated)."""
+        storage = self.storage
+        if storage is None:
+            raise DurabilityError("durability manager is not attached")
+        start = time.perf_counter()
+        with storage.write_lock:
+            self._fire(CHECKPOINT_WRITE, SHARED_SEGMENT)
+            with self._lock:
+                checkpoint_lsn = self._next_lsn - 1
+                next_xid = self._next_xid
+            manifest = {
+                "lsn": checkpoint_lsn,
+                "next_xid": next_xid,
+                "tables": [
+                    encode_descriptor(d) for d in storage.catalog.tables()
+                ],
+            }
+            segments = [
+                self._snapshot_segment(storage, segment)
+                for segment in range(self.num_segments)
+            ]
+            total_bytes = self._write_checkpoint(manifest, segments)
+            truncated = self._maybe_truncate_wal()
+        duration = time.perf_counter() - start
+        with self._lock:
+            self.checkpoints += 1
+            self.last_checkpoint_seconds = duration
+            self.checkpoint_seconds_total += duration
+            self.last_checkpoint_bytes = total_bytes
+            self.last_checkpoint_lsn = checkpoint_lsn
+            if truncated:
+                self.wal_truncations += 1
+        return {
+            "lsn": checkpoint_lsn,
+            "bytes": total_bytes,
+            "seconds": duration,
+            "wal_truncated": truncated,
+        }
+
+    def _snapshot_segment(self, storage: "StorageManager", segment: int) -> dict:
+        """One segment's buckets for every table, read from whichever copy
+        is fully caught up (the survivor, when one copy is down/behind)."""
+        health = storage.health
+        use_mirror = (
+            not health.is_up(segment)
+            or bool(health.missed_lsns(segment, PRIMARY))
+        )
+        snapshot: dict[str, dict[str, list]] = {}
+        for store in storage.stores():
+            buckets = (
+                store.mirror_buckets(segment)
+                if use_mirror
+                else store.primary_buckets(segment)
+            )
+            snapshot[str(store.descriptor.oid)] = {
+                str(oid): [encode_row(row) for row in rows]
+                for oid, rows in buckets.items()
+            }
+        return snapshot
+
+    def _write_checkpoint(self, manifest: dict, segments: list[dict]) -> int:
+        tmp = self.data_dir / "checkpoint.tmp"
+        old = self.data_dir / "checkpoint.old"
+        current = self.checkpoint_dir
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        total = 0
+        for segment, snapshot in enumerate(segments):
+            total += self._write_json(tmp / f"seg{segment}.json", snapshot)
+        # the manifest goes last: a checkpoint without one is unreadable,
+        # so a crash mid-write can never present a partial snapshot
+        total += self._write_json(tmp / "manifest.json", manifest)
+        # atomic swap: current -> old, tmp -> current, drop old
+        if old.exists():
+            shutil.rmtree(old)
+        if current.exists():
+            current.rename(old)
+        tmp.rename(current)
+        if old.exists():
+            shutil.rmtree(old)
+        return total
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> int:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        with open(path, "wb") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return len(body)
+
+    def _maybe_truncate_wal(self) -> bool:
+        """Reset every log file — only when no copy is down or behind
+        (their missed records live in the WAL until resync replays them)."""
+        health = self.health
+        for segment in range(self.num_segments):
+            if not health.is_up(segment) or not health.mirror_is_up(segment):
+                return False
+            if health.missed_lsns(segment, PRIMARY) or health.missed_lsns(
+                segment, MIRROR
+            ):
+                return False
+        for wal in self._segment_wals + [self._catalog_wal, self._commit_wal]:
+            wal.reset()
+        return True
+
+    # -- restart recovery -----------------------------------------------------
+
+    def _load_checkpoint(
+        self, catalog: "Catalog", storage: "StorageManager"
+    ) -> int:
+        """Restore the newest loadable snapshot; returns its LSN (0 when
+        starting fresh)."""
+        tmp = self.data_dir / "checkpoint.tmp"
+        if tmp.exists():  # a checkpoint died mid-write; it never counted
+            shutil.rmtree(tmp)
+        for candidate in (self.checkpoint_dir, self.data_dir / "checkpoint.old"):
+            manifest_path = candidate / "manifest.json"
+            if not manifest_path.exists():
+                continue
+            try:
+                with open(manifest_path, "rb") as fh:
+                    manifest = json.load(fh)
+            except ValueError:
+                continue
+            self._restore_checkpoint(candidate, manifest, catalog, storage)
+            with self._lock:
+                self._next_lsn = manifest["lsn"] + 1
+                self._next_xid = manifest["next_xid"]
+            return manifest["lsn"]
+        return 0
+
+    def _restore_checkpoint(
+        self,
+        directory: Path,
+        manifest: dict,
+        catalog: "Catalog",
+        storage: "StorageManager",
+    ) -> None:
+        for table_def in manifest["tables"]:
+            descriptor = decode_descriptor(table_def)
+            catalog.register_descriptor(descriptor)
+            storage.register(descriptor)
+        for segment in range(self.num_segments):
+            path = directory / f"seg{segment}.json"
+            if not path.exists():
+                continue
+            with open(path, "rb") as fh:
+                snapshot = json.load(fh)
+            for oid_str, buckets in snapshot.items():
+                store = storage.store(int(oid_str))
+                schema = store.descriptor.schema
+                for leaf_str, rows in buckets.items():
+                    validated = [schema.validate_row(row) for row in rows]
+                    store.load_bucket(segment, int(leaf_str), validated)
+
+    def _replay(self, record: dict, catalog: "Catalog", storage: "StorageManager") -> None:
+        kind = record["type"]
+        if kind == "create_table":
+            descriptor = decode_descriptor(record["table_def"])
+            catalog.register_descriptor(descriptor)
+            storage.register(descriptor)
+            return
+        if kind == "drop_table":
+            if catalog.has_table(record["name"]):
+                descriptor = catalog.table(record["name"])
+                storage.unregister(descriptor)
+                catalog.drop_table(record["name"])
+            return
+        try:
+            store = storage.store(record["table"])
+        except Exception:
+            return  # the table was dropped later in the log
+        self._apply_data_record(store, record, copies=(PRIMARY, MIRROR))
+
+    @staticmethod
+    def _apply_data_record(store, record: dict, copies: tuple) -> None:
+        """Apply one insert/delete/truncate record to the named copies of
+        its segment, bypassing logging and health gates."""
+        segment = record["segment"]
+        kind = record["type"]
+        schema = store.descriptor.schema
+        for copy in copies:
+            buckets = (
+                store.primary_buckets(segment)
+                if copy == PRIMARY
+                else store.mirror_buckets(segment)
+            )
+            if kind == "insert":
+                for leaf_oid, row in record["rows"]:
+                    buckets.setdefault(leaf_oid, []).append(
+                        schema.validate_row(row)
+                    )
+            elif kind == "delete":
+                bucket = buckets.get(record["leaf"])
+                if not bucket:
+                    continue
+                for row in record["rows"]:
+                    validated = schema.validate_row(row)
+                    try:
+                        bucket.remove(validated)
+                    except ValueError:
+                        pass  # this copy never had the row (missed insert)
+            elif kind == "truncate":
+                buckets.clear()
+
+    # -- online resync (the SegmentHealth resync handler) ---------------------
+
+    def resync_replay(self, segment: int, copy: str, lsns: list[int]) -> None:
+        """Replay exactly the WAL records at ``lsns`` into ``copy`` of
+        ``segment`` — called by :meth:`SegmentHealth.recover` while the
+        segment is held in the ``resyncing`` state."""
+        storage = self.storage
+        if storage is None:
+            raise DurabilityError("durability manager is not attached")
+        wanted = set(lsns)
+        records, _ = scan(self._segment_wal_path(segment))
+        matched = sorted(
+            (r for r in records if r["lsn"] in wanted), key=lambda r: r["lsn"]
+        )
+        if len(matched) != len(wanted):
+            missing = sorted(wanted - {r["lsn"] for r in matched})
+            raise DurabilityError(
+                f"segment {segment}: {len(missing)} missed WAL records "
+                f"not found in the log (lsns {missing[:5]}...) — was the "
+                "WAL truncated while a copy was behind?"
+            )
+        for record in matched:
+            self._fire(RECOVERY_REPLAY, segment)
+            try:
+                store = storage.store(record["table"])
+            except Exception:
+                continue  # table dropped since
+            self._apply_data_record(store, record, copies=(copy,))
+            self.resync_replayed_records += 1
+
+    # -- export ---------------------------------------------------------------
+
+    def wal_size_bytes(self) -> int:
+        return sum(
+            wal.size()
+            for wal in self._segment_wals
+            + [w for w in (self._catalog_wal, self._commit_wal) if w]
+        )
+
+    def stats_dict(self) -> dict:
+        """The metrics ``"durability"`` section (schema v8)."""
+        with self._lock:
+            return {
+                "enabled": True,
+                "data_dir": str(self.data_dir),
+                "wal_sync": self.wal_sync,
+                "wal_records": self.wal_records,
+                "wal_bytes": self.wal_bytes,
+                "wal_fsyncs": self.wal_fsyncs,
+                "checkpoints": self.checkpoints,
+                "last_checkpoint_seconds": self.last_checkpoint_seconds,
+                "checkpoint_seconds_total": self.checkpoint_seconds_total,
+                "last_checkpoint_bytes": self.last_checkpoint_bytes,
+                "last_checkpoint_lsn": self.last_checkpoint_lsn,
+                "wal_truncations": self.wal_truncations,
+                "recovery_replayed_records": self.recovery_replayed_records,
+                "recovery_checkpoint_lsn": self.recovery_checkpoint_lsn,
+                "resync_replayed_records": self.resync_replayed_records,
+            }

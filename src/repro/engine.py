@@ -64,6 +64,10 @@ class Database:
         cost_model: CostModel | None = None,
         workers: int = 1,
         cache: str | CacheConfig | CacheManager | None = None,
+        data_dir: str | None = None,
+        wal_sync: str = "sync",
+        checkpoint_interval_s: float | None = None,
+        faults: FaultInjector | None = None,
     ):
         from .storage import StorageManager
 
@@ -97,8 +101,31 @@ class Database:
         self.query_stats = QueryStatsStore()
         #: shared fault injector — arm via ``db.faults.arm(...)`` (or the
         #: CLI's ``SET inject_fault ...``); injected faults exercise the
-        #: retry/failover machinery end to end.
-        self.faults = FaultInjector()
+        #: retry/failover machinery end to end.  Passing ``faults=`` lets
+        #: a caller arm recovery-path points *before* restart recovery
+        #: replays the WAL (the crash-testable-recovery contract).
+        self.faults = faults if faults is not None else FaultInjector()
+        self.storage.set_faults(self.faults)
+        #: the instance's :class:`~repro.durability.DurabilityManager`
+        #: (None = volatile).  ``data_dir`` turns on write-ahead logging
+        #: and — when the directory already holds a checkpoint/WAL —
+        #: replays it back into catalog + storage before anything else
+        #: runs.  ``wal_sync`` is the fsync gate ('sync' | 'async');
+        #: ``checkpoint_interval_s`` starts the background checkpointer.
+        self.durability = None
+        if data_dir is not None:
+            from .durability import DurabilityManager
+
+            self.durability = DurabilityManager(
+                data_dir,
+                num_segments,
+                wal_sync=wal_sync,
+                faults=self.faults,
+            )
+            self.storage.attach_durability(self.durability)
+            self.durability.recover_into(self.catalog, self.storage)
+            if checkpoint_interval_s is not None:
+                self.durability.start_checkpointer(checkpoint_interval_s)
         self.retry_policy = RetryPolicy()
         self.executor = MppExecutor(
             self.catalog,
@@ -138,6 +165,10 @@ class Database:
 
         live.add_source("queue_depth", admission_gauge("queue_depth"))
         live.add_source("inflight_admitted", admission_gauge("inflight"))
+        live.add_source(
+            "resyncing_segments",
+            lambda: float(len(self.health.resyncing_segments)),
+        )
 
         def pool_busy() -> float | None:
             server = self._server
@@ -210,16 +241,37 @@ class Database:
         distribution: DistributionPolicy | None = None,
         partition_scheme: PartitionScheme | None = None,
     ) -> TableDescriptor:
-        descriptor = self.catalog.create_table(
-            name, schema, distribution, partition_scheme
-        )
-        self.storage.register(descriptor)
+        with self.storage.write_lock:
+            descriptor = self.catalog.create_table(
+                name, schema, distribution, partition_scheme
+            )
+            self.storage.register(descriptor)
+            if self.durability is not None:
+                self.durability.log_create_table(descriptor)
         return descriptor
 
     def drop_table(self, name: str) -> None:
-        descriptor = self.catalog.table(name)
-        self.storage.unregister(descriptor)
-        self.catalog.drop_table(name)
+        with self.storage.write_lock:
+            descriptor = self.catalog.table(name)
+            self.storage.unregister(descriptor)
+            self.catalog.drop_table(name)
+            if self.durability is not None:
+                self.durability.log_drop_table(descriptor)
+
+    def checkpoint(self) -> dict:
+        """Take a durability checkpoint now: snapshot every table, swap it
+        in atomically, and truncate the WAL when every copy is caught up.
+        Returns the checkpoint summary (lsn, bytes, seconds,
+        wal_truncated).  Raises
+        :class:`~repro.errors.DurabilityError` when the instance has no
+        ``data_dir``."""
+        if self.durability is None:
+            from .errors import DurabilityError
+
+            raise DurabilityError(
+                "no durability configured (Database(data_dir=...))"
+            )
+        return self.durability.checkpoint()
 
     def insert(self, table: str, rows) -> int:
         """Bulk-load rows (faster than SQL INSERT for generators)."""
@@ -431,6 +483,9 @@ class Database:
                             result.metrics.record_live(
                                 self.live.complete(activity)
                             )
+                            result.metrics.record_durability(
+                                self._durability_summary()
+                            )
                             self.query_stats.record(query, result)
                             return result
                     session = self.cache.begin(key, mode)
@@ -462,8 +517,21 @@ class Database:
             result.metrics.record_trace(tracer.to_dict())
             result.metrics.record_optimizer(tracer.optimizer.summary())
         result.metrics.record_live(self.live.complete(activity))
+        result.metrics.record_durability(self._durability_summary())
         self.query_stats.record(query, result)
         return result
+
+    def _durability_summary(self) -> dict:
+        """The metrics ``"durability"`` section (schema v8): WAL and
+        checkpoint counters plus live resync state."""
+        summary = (
+            self.durability.stats_dict()
+            if self.durability is not None
+            else {"enabled": False}
+        )
+        summary["resyncing_segments"] = self.health.resyncing_segments
+        summary["resync_count"] = self.health.resync_count
+        return summary
 
     def activity(self) -> list[dict]:
         """The in-flight query registry as JSON-ready rows

@@ -93,6 +93,23 @@ class SegmentFailure(ExecutionError):
         self.transient = transient
 
 
+class DurabilityError(ReproError):
+    """Errors in the write-ahead-log / checkpoint / recovery subsystem."""
+
+    stage = "durability"
+
+
+class WalCorruption(DurabilityError):
+    """A WAL record failed its CRC or structural check *before* the torn
+    tail — the log is damaged, not merely truncated by a crash."""
+
+
+class ResyncRequired(DurabilityError):
+    """``SegmentHealth.recover()`` was asked to rejoin a primary that
+    missed mutations while down, but no resync path is configured.
+    Rejoining it blind would serve stale rows."""
+
+
 class ServerOverloaded(ReproError):
     """The serving layer refused to admit a query: the run queue is full
     (``reason='queue_full'``) or the request waited past the admission

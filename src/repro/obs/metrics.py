@@ -48,7 +48,12 @@ from typing import Any, Iterator
 #: the live activity registry — every Database.sql() call does): query
 #: id, session, queue wait, elapsed time and the lifecycle phase log —
 #: see docs/observability.md; every v6 field is unchanged.
-METRICS_SCHEMA_VERSION = 7
+#: v8: additive "durability" section ({"enabled": false} on a volatile
+#: instance): WAL record/byte/fsync counters, checkpoint count/duration/
+#: size, restart-recovery and resync replay counters, and the live
+#: resyncing-segment list — see docs/durability.md; every v7 field is
+#: unchanged.
+METRICS_SCHEMA_VERSION = 8
 
 
 class ScanTracker:
@@ -263,6 +268,9 @@ class MetricsCollector:
         # live telemetry (schema v7) — populated by the activity registry
         #: LiveTelemetry.complete() summary: query id, phase log, timings
         self.live_summary: dict | None = None
+        # durability (schema v8) — WAL/checkpoint/recovery counters at
+        #: query end ({"enabled": false} on a volatile instance)
+        self.durability_summary: dict | None = None
 
     # -- plan registration --------------------------------------------------
 
@@ -534,6 +542,14 @@ class MetricsCollector:
         session, queue wait, elapsed time and the lifecycle phase log."""
         self.live_summary = summary
 
+    # -- durability (schema v8) ------------------------------------------------
+
+    def record_durability(self, summary: dict) -> None:
+        """Attach the instance's durability counters at query end
+        (:meth:`~repro.durability.DurabilityManager.stats_dict` plus the
+        live resync state; ``{"enabled": False}`` when volatile)."""
+        self.durability_summary = summary
+
     @property
     def retry_count(self) -> int:
         return len(self.retries)
@@ -641,6 +657,7 @@ class MetricsCollector:
             "cache": self.cache_summary,
             "serving": self.serving_summary,
             "live": self.live_summary,
+            "durability": self.durability_summary,
         }
 
     def to_json(self, indent: int | None = None) -> str:

@@ -173,8 +173,8 @@ def export_prometheus(db) -> str:
     """Every Prometheus family the engine exports, in one scrape body.
 
     Order is fixed — query-stats, cache, serving (only while a server is
-    open), live — so consecutive scrapes of an idle instance are
-    byte-identical.
+    open), live, durability (only with a ``data_dir``) — so consecutive
+    scrapes of an idle instance are byte-identical.
     """
     families = list(db.query_stats.prom_families())
     families.extend(db.cache.prom_families())
@@ -182,4 +182,53 @@ def export_prometheus(db) -> str:
     if server is not None and not server.closed:
         families.extend(server.prom_families())
     families.extend(db.live.prom_families())
+    if getattr(db, "durability", None) is not None:
+        families.extend(durability_families(db))
     return render(families)
+
+
+def durability_families(db) -> list[MetricFamily]:
+    """``repro_durability_*``: WAL, checkpoint, recovery and resync
+    counters plus the number of segments currently resyncing."""
+    stats = db.durability.stats_dict()
+    out: list[MetricFamily] = []
+
+    def counter(name: str, help_text: str, value) -> None:
+        family = MetricFamily(
+            f"repro_durability_{name}", "counter", help_text
+        )
+        family.add(value)
+        out.append(family)
+
+    counter("wal_records_total", "WAL records appended.", stats["wal_records"])
+    counter("wal_bytes_total", "WAL bytes appended.", stats["wal_bytes"])
+    counter("wal_fsyncs_total", "WAL fsync calls.", stats["wal_fsyncs"])
+    counter("checkpoints_total", "Checkpoints taken.", stats["checkpoints"])
+    counter(
+        "checkpoint_seconds_total",
+        "Wall seconds spent checkpointing.",
+        stats["checkpoint_seconds_total"],
+    )
+    counter(
+        "wal_truncations_total",
+        "WAL truncations after checkpoints.",
+        stats["wal_truncations"],
+    )
+    counter(
+        "recovery_replayed_total",
+        "WAL records replayed during restart recovery.",
+        stats["recovery_replayed_records"],
+    )
+    counter(
+        "resync_replayed_total",
+        "WAL records replayed into rejoining copies.",
+        stats["resync_replayed_records"],
+    )
+    gauge = MetricFamily(
+        "repro_durability_resyncing_segments",
+        "gauge",
+        "Segments currently replaying missed mutations.",
+    )
+    gauge.add(len(db.health.resyncing_segments))
+    out.append(gauge)
+    return out

@@ -20,30 +20,47 @@ simulator the same failure path.  Three pieces:
 from .faults import (
     ALWAYS,
     CHANNEL_CLOSE,
+    CHECKPOINT_WRITE,
+    DELETE_ROWS,
     FAIL_N,
     FAIL_ONCE,
     INJECTION_POINTS,
+    INSERT_ROW,
     MOTION_SEND,
+    RECOVERY_REPLAY,
     SCAN_ROW,
     SLICE_START,
     TRIGGER_MODES,
+    WAL_APPEND,
+    WAL_FSYNC,
     FaultInjector,
     FaultSpec,
 )
 from .guardrails import NO_LIMITS, CancelToken, QueryLimits, RetryPolicy
-from .health import SegmentHealth
+from .health import DOWN, MIRROR, PRIMARY, RESYNCING, UP, SegmentHealth
 
 __all__ = [
     "ALWAYS",
     "CHANNEL_CLOSE",
+    "CHECKPOINT_WRITE",
+    "DELETE_ROWS",
+    "DOWN",
     "FAIL_N",
     "FAIL_ONCE",
     "INJECTION_POINTS",
+    "INSERT_ROW",
+    "MIRROR",
     "MOTION_SEND",
     "NO_LIMITS",
+    "PRIMARY",
+    "RECOVERY_REPLAY",
+    "RESYNCING",
     "SCAN_ROW",
     "SLICE_START",
     "TRIGGER_MODES",
+    "UP",
+    "WAL_APPEND",
+    "WAL_FSYNC",
     "CancelToken",
     "FaultInjector",
     "FaultSpec",

@@ -30,8 +30,31 @@ MOTION_SEND = "motion_send"
 SCAN_ROW = "scan_row"
 #: a partition-OID channel is about to close
 CHANNEL_CLOSE = "channel_close"
+#: a row is about to be inserted into a segment's buckets (mutation path)
+INSERT_ROW = "insert_row"
+#: rows are about to be deleted from a segment's leaf (mutation path)
+DELETE_ROWS = "delete_rows"
+#: a WAL record is about to be appended (segment, or -1 for shared logs)
+WAL_APPEND = "wal_append"
+#: a WAL file is about to be fsynced
+WAL_FSYNC = "wal_fsync"
+#: a checkpoint snapshot is about to be written to disk
+CHECKPOINT_WRITE = "checkpoint_write"
+#: a WAL record is about to be replayed during restart recovery / resync
+RECOVERY_REPLAY = "recovery_replay"
 
-INJECTION_POINTS = (SLICE_START, MOTION_SEND, SCAN_ROW, CHANNEL_CLOSE)
+INJECTION_POINTS = (
+    SLICE_START,
+    MOTION_SEND,
+    SCAN_ROW,
+    CHANNEL_CLOSE,
+    INSERT_ROW,
+    DELETE_ROWS,
+    WAL_APPEND,
+    WAL_FSYNC,
+    CHECKPOINT_WRITE,
+    RECOVERY_REPLAY,
+)
 
 FAIL_ONCE = "fail_once"
 FAIL_N = "fail_n"

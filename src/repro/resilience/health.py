@@ -9,20 +9,40 @@ mirror reads the observability layer exports.
 The storage layer consults health on every segment read: a down primary
 is served from its mirror copy; a double fault (mirror also down) raises
 an unrecoverable :class:`~repro.errors.SegmentFailure`.
+
+Rejoining a downed copy is **not** instant: while a copy is down the
+storage layer keeps writing the surviving copy and reports the skipped
+mutations here (:meth:`record_missed`), so each copy carries the exact
+set of WAL LSNs it missed.  :meth:`recover` routes through a *resync*
+path — the copy is held in the ``resyncing`` state (reads still served
+from the survivor) while a resync handler replays exactly the missed
+mutations, and only then flips back ``up``.  Without a handler, a copy
+that missed mutations refuses to rejoin with a typed
+:class:`~repro.errors.ResyncRequired` instead of serving stale rows.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import Callable, Iterable
 
-from ..errors import SegmentFailure
+from ..errors import ResyncRequired, SegmentFailure
 
 UP = "up"
 DOWN = "down"
+RESYNCING = "resyncing"
+
+#: the two copies of a segment, as ``record_missed`` / handler arguments
+PRIMARY = "primary"
+MIRROR = "mirror"
+
+#: handler(segment, copy, missed_lsns) replays the missed mutations into
+#: the named copy; installed by the storage layer / durability manager
+ResyncHandler = Callable[[int, str, "list[int]"], None]
 
 
 class SegmentHealth:
-    """Up/down state of every primary segment and its mirror."""
+    """Up/resyncing/down state of every primary segment and its mirror."""
 
     def __init__(self, num_segments: int):
         if num_segments <= 0:
@@ -30,29 +50,69 @@ class SegmentHealth:
         self.num_segments = num_segments
         self._primary_up = [True] * num_segments
         self._mirror_up = [True] * num_segments
+        #: segments whose primary is currently replaying missed mutations
+        self._resyncing: set[int] = set()
         #: serializes state transitions and read counters — storage reads
         #: and failovers arrive concurrently from segment worker threads
         self._lock = threading.Lock()
-        #: chronological failover log: {"segment", "reason"}
+        #: chronological failover log: {"segment", "reason"[, "lsn"]}
         self.failover_events: list[dict] = []
+        #: chronological resync log: {"segment", "primary_records",
+        #: "mirror_records"}
+        self.resync_events: list[dict] = []
         #: reads served from a mirror while its primary was down, per segment
         self.mirror_reads = [0] * num_segments
+        #: exact WAL LSNs each down copy skipped, per segment
+        self._missed_primary: list[set[int]] = [set() for _ in range(num_segments)]
+        self._missed_mirror: list[set[int]] = [set() for _ in range(num_segments)]
+        #: descending token source for opaque (no-WAL) missed-write marks
+        self._opaque_lsn = 0
+        #: replays missed mutations into a copy before it rejoins; when
+        #: ``None``, :meth:`recover` refuses stale rejoins (ResyncRequired)
+        self.resync_handler: ResyncHandler | None = None
+        #: held across a resync so no writer can race the replay; the
+        #: StorageManager shares its storage-wide write lock here (an
+        #: RLock: the resync handler re-takes it when applying records)
+        self.write_lock = threading.RLock()
+        #: optional () -> int reporting the current WAL LSN, used to stamp
+        #: failover events with the log position at promotion time
+        self.lsn_provider: Callable[[], int] | None = None
 
     # -- queries ------------------------------------------------------------
 
     def is_up(self, segment: int) -> bool:
-        return self._primary_up[segment]
+        return self._primary_up[segment] and segment not in self._resyncing
 
     def mirror_is_up(self, segment: int) -> bool:
         return self._mirror_up[segment]
 
+    def is_resyncing(self, segment: int) -> bool:
+        return segment in self._resyncing
+
     @property
     def down_segments(self) -> list[int]:
-        return [s for s in range(self.num_segments) if not self._primary_up[s]]
+        return [s for s in range(self.num_segments) if not self.is_up(s)]
+
+    @property
+    def resyncing_segments(self) -> list[int]:
+        return sorted(self._resyncing)
 
     @property
     def failover_count(self) -> int:
         return len(self.failover_events)
+
+    @property
+    def resync_count(self) -> int:
+        return len(self.resync_events)
+
+    def missed_lsns(self, segment: int, copy: str = PRIMARY) -> list[int]:
+        """The WAL LSNs ``copy`` of ``segment`` skipped while down."""
+        self._check_segment(segment)
+        with self._lock:
+            missed = (
+                self._missed_primary if copy == PRIMARY else self._missed_mirror
+            )
+            return sorted(missed[segment])
 
     # -- transitions --------------------------------------------------------
 
@@ -67,9 +127,11 @@ class SegmentHealth:
         with self._lock:
             if self._primary_up[segment]:
                 self._primary_up[segment] = False
-                self.failover_events.append(
-                    {"segment": segment, "reason": reason}
-                )
+                self._resyncing.discard(segment)
+                event = {"segment": segment, "reason": reason}
+                if self.lsn_provider is not None:
+                    event["lsn"] = self.lsn_provider()
+                self.failover_events.append(event)
             return self._mirror_up[segment]
 
     def mark_mirror_down(self, segment: int) -> None:
@@ -77,16 +139,115 @@ class SegmentHealth:
         with self._lock:
             self._mirror_up[segment] = False
 
-    def recover(self, segment: int) -> None:
-        """Bring a segment's primary (and mirror) back up — instant resync,
-        since mirrors are synchronously replicated in this simulator."""
+    def record_missed(
+        self, segment: int, copy: str, lsns: Iterable[int] | None = None
+    ) -> None:
+        """Record that ``copy`` of ``segment`` skipped the mutations at
+        ``lsns`` because it was down — the storage write path calls this
+        atomically with applying the write to the surviving copy, so the
+        missed set is exact even under concurrent DML and failover.
+
+        ``lsns=None`` records an *opaque* miss (no WAL configured): a
+        unique negative token marking the copy stale, replayed only by a
+        full-copy resync handler that ignores LSNs."""
         self._check_segment(segment)
-        self._primary_up[segment] = True
-        self._mirror_up[segment] = True
+        with self._lock:
+            missed = (
+                self._missed_primary if copy == PRIMARY else self._missed_mirror
+            )
+            if lsns is None:
+                self._opaque_lsn -= 1
+                missed[segment].add(self._opaque_lsn)
+            else:
+                missed[segment].update(lsns)
+
+    def recover(self, segment: int) -> None:
+        """Rejoin a segment's primary (and mirror) via resync.
+
+        A copy that missed no mutations rejoins instantly.  A copy that
+        *did* miss mutations enters ``resyncing``: reads stay on the
+        surviving copy while :attr:`resync_handler` replays exactly the
+        missed WAL records, then the copy flips ``up``.  Without a
+        handler configured the rejoin refuses with
+        :class:`~repro.errors.ResyncRequired` — never stale rows.
+        """
+        self._check_segment(segment)
+        # the write lock first: no writer can add to the missed sets while
+        # the replay runs, so clearing them afterwards loses nothing.  Lock
+        # order everywhere is write_lock -> health lock (writers take the
+        # write lock before consulting writable_copies).
+        with self.write_lock:
+            with self._lock:
+                missed_primary = sorted(self._missed_primary[segment])
+                missed_mirror = sorted(self._missed_mirror[segment])
+                if not missed_primary and not missed_mirror:
+                    self._primary_up[segment] = True
+                    self._mirror_up[segment] = True
+                    self._resyncing.discard(segment)
+                    return
+                if self.resync_handler is None:
+                    raise ResyncRequired(
+                        f"segment {segment} missed "
+                        f"{len(missed_primary) or len(missed_mirror)} "
+                        "mutations while down and no resync path is "
+                        "configured; rejoining it would serve stale rows"
+                    )
+                # hold the copy in `resyncing` while the handler replays;
+                # reads keep hitting the surviving copy via require_readable
+                self._resyncing.add(segment)
+            try:
+                # handler runs outside the health lock (it calls back into
+                # health) but inside the write lock (no concurrent DML)
+                if missed_mirror:
+                    self.resync_handler(segment, MIRROR, missed_mirror)
+                if missed_primary:
+                    self.resync_handler(segment, PRIMARY, missed_primary)
+            except Exception:
+                with self._lock:
+                    self._resyncing.discard(segment)
+                raise
+            with self._lock:
+                self._missed_primary[segment].clear()
+                self._missed_mirror[segment].clear()
+                self._primary_up[segment] = True
+                self._mirror_up[segment] = True
+                self._resyncing.discard(segment)
+                self.resync_events.append(
+                    {
+                        "segment": segment,
+                        "primary_records": len(missed_primary),
+                        "mirror_records": len(missed_mirror),
+                    }
+                )
 
     def recover_all(self) -> None:
         for segment in range(self.num_segments):
             self.recover(segment)
+
+    # -- the storage write path ---------------------------------------------
+
+    def writable_copies(self, segment: int) -> tuple[bool, bool]:
+        """Which copies of ``segment`` must receive a write right now.
+
+        Returns ``(primary, mirror)`` booleans; a down copy is skipped
+        (the caller then reports the skipped LSNs via
+        :meth:`record_missed`).  Raises :class:`SegmentFailure` when
+        neither copy can take the write — the double-fault case.
+        """
+        self._check_segment(segment)
+        with self._lock:
+            primary = (
+                self._primary_up[segment] and segment not in self._resyncing
+            )
+            mirror = self._mirror_up[segment]
+        if not primary and not mirror:
+            raise SegmentFailure(
+                f"segment {segment}: primary and mirror are both down",
+                segment=segment,
+                point="storage_write",
+                transient=False,
+            )
+        return primary, mirror
 
     # -- the storage read path ---------------------------------------------
 
@@ -97,11 +258,12 @@ class SegmentHealth:
     def require_readable(self, segment: int) -> bool:
         """Whether reads for ``segment`` must be served from the mirror.
 
-        Raises :class:`SegmentFailure` when neither copy is available —
-        the unrecoverable double-fault case.
+        A resyncing primary is not yet readable — its mirror serves until
+        the replay completes.  Raises :class:`SegmentFailure` when
+        neither copy is available — the unrecoverable double-fault case.
         """
         self._check_segment(segment)
-        if self._primary_up[segment]:
+        if self._primary_up[segment] and segment not in self._resyncing:
             return False
         if self._mirror_up[segment]:
             return True
@@ -115,13 +277,20 @@ class SegmentHealth:
     # -- export -------------------------------------------------------------
 
     def status(self) -> dict:
+        def primary_state(segment: int) -> str:
+            if segment in self._resyncing:
+                return RESYNCING
+            return UP if self._primary_up[segment] else DOWN
+
         return {
             "primaries": [
-                UP if up else DOWN for up in self._primary_up
+                primary_state(s) for s in range(self.num_segments)
             ],
             "mirrors": [UP if up else DOWN for up in self._mirror_up],
             "down_segments": self.down_segments,
+            "resyncing_segments": self.resyncing_segments,
             "failover_count": self.failover_count,
+            "resync_count": self.resync_count,
             "mirror_reads": list(self.mirror_reads),
         }
 
@@ -132,4 +301,6 @@ class SegmentHealth:
     def __repr__(self) -> str:
         down = self.down_segments
         state = f"{len(down)} down {down}" if down else "all up"
+        if self._resyncing:
+            state += f", resyncing {sorted(self._resyncing)}"
         return f"SegmentHealth({self.num_segments} segments, {state})"

@@ -14,7 +14,10 @@ endpoints:
 * ``GET /healthz`` — segment/mirror health from
   :class:`~repro.resilience.SegmentHealth` as JSON; the status code is
   the contract — 200 while every segment can serve reads (mirrors
-  count), 503 once any segment is double-faulted.
+  count), 503 once any segment is double-faulted.  A segment whose
+  primary is down **or resyncing** (replaying missed mutations before
+  rejoining — see docs/durability.md) reports ``"degraded"``: reads
+  still work off the mirror, but redundancy is reduced.
 * ``GET /activity`` — the live registry
   (``pg_stat_activity``-style) as JSON: one row per in-flight query with
   phase, elapsed/queued time and rows/partitions so far.
@@ -61,6 +64,9 @@ class _ScrapeHandler(BaseHTTPRequestHandler):
                 )
                 if primary != "up" and mirror != "up"
             ]
+            # down_segments includes resyncing primaries: a copy that is
+            # still replaying missed mutations is not yet serving reads,
+            # so the instance reports degraded until the resync completes
             body = {
                 "status": "unhealthy" if double_faults else (
                     "degraded" if status["down_segments"] else "ok"

@@ -8,12 +8,14 @@ OID to its owning table's store.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterator, Sequence
 
 from ..catalog import Catalog, TableDescriptor
 from ..errors import CatalogError
-from ..resilience.health import SegmentHealth
+from ..resilience.faults import RECOVERY_REPLAY
+from ..resilience.health import PRIMARY, SegmentHealth
 from .table import TableStore
 
 
@@ -22,7 +24,16 @@ class StorageManager:
 
     The manager also owns the instance's :class:`SegmentHealth`: every
     registered table's reads consult it, so a single failover flips all
-    tables of the down segment to their mirror copies at once.
+    tables of the down segment to their mirror copies at once.  All
+    mutations across all tables serialize on :attr:`write_lock`, which
+    the health resync path and the durability manager's checkpoints also
+    hold — a resync or snapshot never races a write.
+
+    With no durability manager attached, a copy that missed writes while
+    down rejoins through :meth:`_full_copy_resync`: its buckets are
+    rebuilt wholesale from the surviving copy (the WAL-less equivalent
+    of Greenplum's full mirror recovery).  ``attach_durability`` swaps
+    that for exact WAL replay.
     """
 
     def __init__(
@@ -34,6 +45,15 @@ class StorageManager:
         self.catalog = catalog
         self.num_segments = num_segments
         self.health = health if health is not None else SegmentHealth(num_segments)
+        #: one lock for every mutation on every table of this instance
+        self.write_lock = threading.RLock()
+        self.health.write_lock = self.write_lock
+        self.health.resync_handler = self._full_copy_resync
+        #: the instance's FaultInjector, propagated to every store for the
+        #: mutation-path injection points (set by the engine)
+        self.faults = None
+        #: the instance's DurabilityManager (None = volatile storage)
+        self.durability = None
         self._stores: dict[int, TableStore] = {}
         #: mutation subscribers ``fn(root_oid, leaf_oids | None)`` — every
         #: table's writes fan out here (the cache layer's invalidation feed)
@@ -51,8 +71,15 @@ class StorageManager:
             raise CatalogError(
                 f"storage for table {descriptor.name!r} already exists"
             )
-        store = TableStore(descriptor, self.num_segments, health=self.health)
+        store = TableStore(
+            descriptor,
+            self.num_segments,
+            health=self.health,
+            write_lock=self.write_lock,
+        )
         store.on_mutation = self._notify_mutation
+        store.faults = self.faults
+        store.durability = self.durability
         self._stores[descriptor.oid] = store
         return store
 
@@ -60,6 +87,44 @@ class StorageManager:
         self._stores.pop(descriptor.oid, None)
         # dropping a table is a whole-table mutation for subscribers
         self._notify_mutation(descriptor.oid, None)
+
+    def set_faults(self, injector) -> None:
+        """Wire the instance's fault injector into every store (existing
+        and future) for the ``insert_row``/``delete_rows`` points."""
+        self.faults = injector
+        for store in self._stores.values():
+            store.faults = injector
+
+    def attach_durability(self, manager) -> None:
+        """Wire a :class:`~repro.durability.DurabilityManager` in: stores
+        log through it, health stamps failovers with its LSN and resyncs
+        by exact WAL replay instead of full copy."""
+        self.durability = manager
+        manager.storage = self
+        manager.health = self.health
+        self.health.resync_handler = manager.resync_replay
+        self.health.lsn_provider = manager.current_lsn
+        for store in self._stores.values():
+            store.durability = manager
+
+    def _full_copy_resync(self, segment: int, copy: str, lsns) -> None:
+        """WAL-less resync: rebuild ``copy`` of ``segment`` from the
+        surviving copy across every table.  Runs under the write lock
+        (the health recover path holds it)."""
+        with self.write_lock:
+            if self.faults is not None and self.faults.active:
+                self.faults.maybe_fire(RECOVERY_REPLAY, segment)
+            for store in self._stores.values():
+                source = (
+                    store.mirror_buckets(segment)
+                    if copy == PRIMARY
+                    else store.primary_buckets(segment)
+                )
+                rebuilt = {oid: list(rows) for oid, rows in source.items()}
+                if copy == PRIMARY:
+                    store._rows[segment] = rebuilt
+                else:
+                    store._mirror[segment] = rebuilt
 
     def add_mutation_listener(self, listener) -> None:
         """Subscribe ``fn(root_oid, leaf_oids | None)`` to every write on
@@ -78,6 +143,10 @@ class StorageManager:
 
     def store_by_name(self, name: str) -> TableStore:
         return self.store(self.catalog.table(name).oid)
+
+    def stores(self) -> Iterator[TableStore]:
+        """Every registered store (checkpoint snapshots iterate this)."""
+        return iter(self._stores.values())
 
     def scan_leaf(self, segment: int, leaf_oid: int) -> Iterator[tuple]:
         """Scan one leaf partition on one segment, addressed purely by OID."""

@@ -17,15 +17,26 @@ is attached (the :class:`~repro.storage.partitioned.StorageManager` does
 this on registration) and marks a primary down, reads for that segment
 are served from the mirror; a double fault raises
 :class:`~repro.errors.SegmentFailure`.
+
+Writes are health-gated the same way: a down copy is *skipped* (the
+survivor still takes the write) and the skipped mutation is reported to
+health as missed, so the copy cannot rejoin until a resync replays it —
+see :meth:`SegmentHealth.recover`.  All mutations run under the
+storage-wide ``write_lock`` and, when a
+:class:`~repro.durability.DurabilityManager` is attached, append WAL
+records through a per-statement :class:`WalTransaction` committed in the
+same critical section.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Sequence
 
 from ..catalog import DistributionPolicy, TableDescriptor
 from ..errors import PartitionError
-from ..resilience.health import SegmentHealth
+from ..resilience.faults import DELETE_ROWS, INSERT_ROW
+from ..resilience.health import MIRROR, PRIMARY, SegmentHealth
 from .distribution import segment_for
 
 
@@ -38,12 +49,21 @@ class TableStore:
         descriptor: TableDescriptor,
         num_segments: int,
         health: SegmentHealth | None = None,
+        write_lock: "threading.RLock | None" = None,
     ):
         if num_segments <= 0:
             raise ValueError("num_segments must be positive")
         self.descriptor = descriptor
         self.num_segments = num_segments
         self.health = health
+        #: serializes all mutations; the StorageManager shares one lock
+        #: across every store (and with SegmentHealth's resync path)
+        self.write_lock = write_lock if write_lock is not None else threading.RLock()
+        #: the instance's DurabilityManager (None = nothing is logged)
+        self.durability = None
+        #: the instance's FaultInjector for the mutation-path points
+        #: ``insert_row`` / ``delete_rows`` (None = no injection)
+        self.faults = None
         # _rows[segment][leaf_oid] -> list of row tuples (primary copies)
         self._rows: list[dict[int, list[tuple]]] = [
             {} for _ in range(num_segments)
@@ -66,7 +86,12 @@ class TableStore:
         Raises :class:`PartitionError` when the row maps to the invalid
         partition ⊥ — no partition accepts its key values.
         """
-        oid = self._insert_row(row)
+        with self.write_lock:
+            txn = self._begin()
+            try:
+                oid = self._insert_row(row, txn)
+            finally:
+                self._commit(txn)
         self._notify(frozenset((oid,)) if self.descriptor.is_partitioned else None)
 
     def insert_many(self, rows: Iterable[Sequence]) -> int:
@@ -75,16 +100,47 @@ class TableStore:
         count = 0
         touched: set[int] = set()
         partitioned = self.descriptor.is_partitioned
-        try:
-            for row in rows:
-                touched.add(self._insert_row(row))
-                count += 1
-        finally:
-            if count:
-                self._notify(frozenset(touched) if partitioned else None)
+        with self.write_lock:
+            txn = self._begin()
+            try:
+                for row in rows:
+                    touched.add(self._insert_row(row, txn))
+                    count += 1
+            finally:
+                # the WAL commit covers exactly the applied prefix: a
+                # mid-batch validation failure leaves rows 0..k applied in
+                # memory, and recovery must reproduce the same state
+                self._commit(txn)
+                if count:
+                    self._notify(frozenset(touched) if partitioned else None)
         return count
 
-    def _insert_row(self, row: Sequence) -> int:
+    def _begin(self):
+        if self.durability is None:
+            return None
+        return self.durability.begin(self.descriptor.oid)
+
+    def _commit(self, txn) -> None:
+        if txn is not None:
+            self.durability.commit(txn)
+
+    def _writable_copies(self, segment: int) -> tuple[bool, bool]:
+        if self.health is None:
+            return True, True
+        return self.health.writable_copies(segment)
+
+    def _record_missed(self, segment: int, primary: bool, mirror: bool) -> None:
+        """Without a WAL there are no LSNs to track, so a skipped copy is
+        marked stale with an opaque token (full-copy resync on rejoin).
+        With a WAL, the transaction commit records the exact LSNs."""
+        if self.durability is not None or self.health is None:
+            return
+        if not primary:
+            self.health.record_missed(segment, PRIMARY)
+        if not mirror:
+            self.health.record_missed(segment, MIRROR)
+
+    def _insert_row(self, row: Sequence, txn=None) -> int:
         desc = self.descriptor
         validated = desc.schema.validate_row(row)
         if desc.is_partitioned:
@@ -98,8 +154,17 @@ class TableStore:
         else:
             oid = desc.oid
         for seg in self._target_segments(validated):
-            self._rows[seg].setdefault(oid, []).append(validated)
-            self._mirror[seg].setdefault(oid, []).append(validated)
+            if self.faults is not None and self.faults.active:
+                self.faults.maybe_fire(INSERT_ROW, seg)
+            primary, mirror = self._writable_copies(seg)
+            if primary:
+                self._rows[seg].setdefault(oid, []).append(validated)
+            if mirror:
+                self._mirror[seg].setdefault(oid, []).append(validated)
+            if txn is not None:
+                txn.add_insert(seg, oid, validated, primary, mirror)
+            else:
+                self._record_missed(seg, primary, mirror)
         return oid
 
     def _notify(self, leaf_oids: frozenset | None) -> None:
@@ -114,33 +179,76 @@ class TableStore:
         return [segment_for(row[col_idx], self.num_segments)]
 
     def truncate(self) -> None:
-        for seg_rows in self._rows:
-            seg_rows.clear()
-        for seg_rows in self._mirror:
-            seg_rows.clear()
+        with self.write_lock:
+            txn = self._begin()
+            try:
+                for seg in range(self.num_segments):
+                    primary, mirror = self._writable_copies(seg)
+                    if primary:
+                        self._rows[seg].clear()
+                    if mirror:
+                        self._mirror[seg].clear()
+                    if txn is not None:
+                        txn.add_truncate(seg, primary, mirror)
+                    else:
+                        self._record_missed(seg, primary, mirror)
+            finally:
+                self._commit(txn)
         self._notify(None)
 
     def delete_from_leaf(self, segment: int, oid: int, rows: list[tuple]) -> None:
         """Remove specific rows (used by UPDATE's delete-then-insert)."""
-        for copy in (self._rows, self._mirror):
-            bucket = copy[segment].get(oid)
-            if not bucket:
-                continue
-            for row in rows:
-                bucket.remove(row)
+        with self.write_lock:
+            if self.faults is not None and self.faults.active:
+                self.faults.maybe_fire(DELETE_ROWS, segment)
+            txn = self._begin()
+            try:
+                primary, mirror = self._writable_copies(segment)
+                for copy, writable in (
+                    (self._rows, primary),
+                    (self._mirror, mirror),
+                ):
+                    if not writable:
+                        continue
+                    bucket = copy[segment].get(oid)
+                    if not bucket:
+                        continue
+                    for row in rows:
+                        bucket.remove(row)
+                if txn is not None:
+                    txn.add_delete(segment, oid, rows, primary, mirror)
+                else:
+                    self._record_missed(segment, primary, mirror)
+            finally:
+                self._commit(txn)
         self._notify(
             frozenset((oid,)) if self.descriptor.is_partitioned else None
         )
+
+    # -- recovery back door --------------------------------------------------
+
+    def load_bucket(self, segment: int, oid: int, rows: list[tuple]) -> None:
+        """Install one bucket into *both* copies, bypassing health gates,
+        logging and notifications — the checkpoint-restore path (each copy
+        gets its own list object)."""
+        self._rows[segment][oid] = list(rows)
+        self._mirror[segment][oid] = list(rows)
 
     # -- reads --------------------------------------------------------------
 
     def _segment_buckets(self, segment: int) -> dict[int, list[tuple]]:
         """The readable copy of one segment's buckets: primary while up,
-        mirror after a failover, :class:`SegmentFailure` on double fault."""
+        mirror after a failover (or during resync), and
+        :class:`SegmentFailure` on double fault."""
         health = self.health
         if health is not None and health.require_readable(segment):
             health.record_mirror_read(segment)
             return self._mirror[segment]
+        return self._rows[segment]
+
+    def primary_buckets(self, segment: int) -> dict[int, list[tuple]]:
+        """Direct view of one segment's primary copy (checkpoint, resync,
+        tests) — no health gating."""
         return self._rows[segment]
 
     def mirror_buckets(self, segment: int) -> dict[int, list[tuple]]:

@@ -1,0 +1,77 @@
+"""The durability surface of the REPL: ``\\checkpoint``, ``\\wal``,
+``SET wal sync|async``."""
+
+from repro import Database
+from repro.cli import ReplSession
+
+
+def _session(tmp_path=None):
+    db = Database(
+        num_segments=4, data_dir=str(tmp_path) if tmp_path else None
+    )
+    return ReplSession(db)
+
+
+def test_checkpoint_without_data_dir_errors():
+    session = _session()
+    output = session.handle_line("\\checkpoint")
+    assert output.startswith("ERROR (durability)")
+    assert session.errors == 1
+
+
+def test_wal_without_data_dir_reports_off():
+    session = _session()
+    assert "durability is off" in session.handle_line("\\wal")
+
+
+def test_checkpoint_and_wal_status(tmp_path):
+    session = _session(tmp_path)
+    session.handle_line("\\demo")
+    output = session.handle_line("\\checkpoint")
+    assert output.startswith("checkpoint at lsn ")
+    assert "wal truncated" in output
+    status = session.handle_line("\\wal")
+    assert "wal (sync):" in status
+    assert "checkpoints: 1" in status
+    session.db.durability.close()
+
+
+def test_set_wal_switches_mode(tmp_path):
+    session = _session(tmp_path)
+    assert session.handle_line("SET wal async;") == "wal is async"
+    assert session.db.durability.wal_sync == "async"
+    assert session.handle_line("SET wal sync;") == "wal is sync"
+    assert session.db.durability.wal_sync == "sync"
+    output = session.handle_line("SET wal bogus;")
+    assert output.startswith("ERROR (sql)")
+    session.db.durability.close()
+
+
+def test_set_wal_without_data_dir_errors():
+    session = _session()
+    output = session.handle_line("SET wal async;")
+    assert output.startswith("ERROR (durability)")
+    assert session.errors == 1
+
+
+def test_help_mentions_durability_commands():
+    session = _session()
+    text = session.handle_line("\\help")
+    assert "\\checkpoint" in text
+    assert "\\wal" in text
+    assert "SET wal sync|async" in text
+
+
+def test_new_injection_points_are_armable():
+    session = _session()
+    for point in (
+        "insert_row",
+        "delete_rows",
+        "wal_append",
+        "wal_fsync",
+        "checkpoint_write",
+        "recovery_replay",
+    ):
+        output = session.handle_line(f"SET inject_fault {point};")
+        assert output.startswith("armed: "), output
+        session.handle_line("SET inject_fault off;")

@@ -54,6 +54,10 @@ COUNTER_GATES: dict[str, list[str]] = {
     # admission control under a synchronized burst: admitted/shed/typed
     # counts are exact; the throughput wall clocks stay report-only
     "fig21_concurrent_throughput.json": ["overload"],
+    # fig22 (recovery time vs checkpoint size) is deliberately absent:
+    # every interesting leaf is a wall clock (*_seconds) or scales with
+    # the size matrix, so the whole file stays report-only via the
+    # timing scan below
 }
 
 #: substrings identifying wall-clock leaves (report-only)
