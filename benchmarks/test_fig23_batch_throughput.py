@@ -1,0 +1,179 @@
+"""Figure 23 (this repo's extension) — vectorized batch execution throughput.
+
+The paper's executor model is row-at-a-time Volcano iterators; modern MPP
+executors amortize interpretation overhead by pulling one *batch* of rows
+per iterator call.  This benchmark measures what the batch pipeline
+(``batch_size=1024``, the engine default) buys over the row path
+(``batch_size=1``) on the two shapes the executor spends its life in:
+
+* **scan+filter** — a full scan of a 12-partition fact table with a
+  selective predicate, gathered to the coordinator;
+* **partitioned hash join** — a dimension filter driving a redistributed
+  hash join against the partitioned fact table, aggregated.
+
+Reported as input-rows-per-second per workload per batch width.
+
+Assertions: identical rows at both widths, identical deterministic
+counters (partitions/rows scanned, motion rows/bytes — these gate hard in
+CI via ``tools/check_bench_regression.py``), and the batch pipeline must
+clear 2x on scan+filter and 1.5x on the join (wall-clock bars measured as
+a ratio on the same machine; the absolute timings stay report-only).
+"""
+
+from __future__ import annotations
+
+import random
+
+SEGMENTS = 4
+PARTS = 12
+FACT_ROWS = 24000
+DIM_KEYS = 1200
+BATCH_SIZES = (1, 1024)
+
+FILTER_SQL = "SELECT id, val FROM facts WHERE val > 25.0"
+JOIN_SQL = (
+    "SELECT count(*), sum(f.val) FROM facts f, dim d "
+    "WHERE f.key = d.key AND d.grp = 3"
+)
+
+WORKLOADS = [
+    ("scan+filter", FILTER_SQL),
+    ("hash join", JOIN_SQL),
+]
+
+#: hard wall-clock ratio bars (same-machine ratio, so CI-stable)
+SPEEDUP_BARS = {"scan+filter": 2.0, "hash join": 1.5}
+
+
+def _build_db():
+    from repro import Database
+    from repro import types as t
+    from repro.catalog import (
+        DistributionPolicy,
+        PartitionScheme,
+        TableSchema,
+        uniform_int_level,
+    )
+
+    db = Database(num_segments=SEGMENTS)
+    db.create_table(
+        "facts",
+        TableSchema.of(("id", t.INT), ("key", t.INT), ("val", t.FLOAT)),
+        distribution=DistributionPolicy.hashed("id"),
+        partition_scheme=PartitionScheme(
+            [uniform_int_level("key", 0, DIM_KEYS, PARTS)]
+        ),
+    )
+    db.create_table(
+        "dim",
+        TableSchema.of(("key", t.INT), ("grp", t.INT)),
+        distribution=DistributionPolicy.hashed("key"),
+    )
+    rng = random.Random(23)
+    db.insert(
+        "facts",
+        [
+            (i, rng.randrange(DIM_KEYS), round(rng.uniform(0, 50), 2))
+            for i in range(FACT_ROWS)
+        ],
+    )
+    db.insert("dim", [(k, k % 8) for k in range(DIM_KEYS)])
+    db.analyze()
+    return db
+
+
+def test_fig23_batch_throughput(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    from ._helpers import emit, emit_json, format_table, timed
+
+    db = _build_db()
+
+    # -- correctness + deterministic counters at each width ------------------
+    counters: dict[str, dict] = {}
+    for name, sql in WORKLOADS:
+        reference = db.sql(sql, analyze=True, batch_size=1)
+        per_width: dict[str, dict] = {}
+        for width in BATCH_SIZES:
+            result = db.sql(sql, analyze=True, batch_size=width)
+            assert sorted(result.rows, key=repr) == sorted(
+                reference.rows, key=repr
+            ), f"{name}: batch_size={width} changed the answer"
+            motion = result.metrics.motion_stats()
+            per_width[str(width)] = {
+                "result_rows": len(result.rows),
+                "partitions_scanned": result.metrics.partitions_scanned(),
+                "rows_scanned": result.metrics.total_rows_scanned,
+                "motion_rows": motion["rows_moved"],
+                "motion_bytes": motion["bytes_moved"],
+            }
+        assert per_width["1"] == per_width[str(BATCH_SIZES[-1])], (
+            f"{name}: batch width changed the measured counters"
+        )
+        counters[name] = per_width
+
+    # -- throughput ----------------------------------------------------------
+    measurements = []
+    for name, sql in WORKLOADS:
+        row_s = None
+        for width in BATCH_SIZES:
+            elapsed = timed(lambda s=sql, w=width: db.sql(s, batch_size=w))
+            if width == 1:
+                row_s = elapsed
+            measurements.append(
+                {
+                    "workload": name,
+                    "batch_size": width,
+                    "seconds": elapsed,
+                    "input_rows": FACT_ROWS,
+                    "rows_per_second": FACT_ROWS / elapsed if elapsed else 0.0,
+                    "speedup_vs_row": row_s / elapsed if elapsed else 0.0,
+                }
+            )
+
+    emit(
+        "fig23_batch_throughput",
+        format_table(
+            ["workload", "batch", "best-of-3", "rows/sec", "speedup"],
+            [
+                [
+                    m["workload"],
+                    m["batch_size"],
+                    f"{m['seconds'] * 1000:.1f} ms",
+                    f"{m['rows_per_second']:,.0f}",
+                    f"{m['speedup_vs_row']:.2f}x",
+                ]
+                for m in measurements
+            ],
+        )
+        + [
+            "",
+            f"segments={SEGMENTS}  partitions={PARTS}  "
+            f"fact_rows={FACT_ROWS}",
+        ],
+    )
+    emit_json(
+        "fig23_batch_throughput",
+        {
+            "segments": SEGMENTS,
+            "partitions": PARTS,
+            "fact_rows": FACT_ROWS,
+            "batch_sizes": list(BATCH_SIZES),
+            "counters": counters,
+            "measurements": measurements,
+        },
+    )
+
+    for name, _ in WORKLOADS:
+        batched = next(
+            m
+            for m in measurements
+            if m["workload"] == name and m["batch_size"] == BATCH_SIZES[-1]
+        )
+        bar = SPEEDUP_BARS[name]
+        assert batched["speedup_vs_row"] >= bar, (
+            f"{name}: batch speedup {batched['speedup_vs_row']:.2f}x below "
+            f"the {bar}x bar"
+        )

@@ -68,6 +68,9 @@ SET statements configure the session:
   SET workers N;           SET workers off;         parallel segment
                    execution on N worker threads (results identical to
                    serial; off = serial)
+  SET batch_size N;        SET batch_size off;      vectorized batch
+                   width (N >= 1; 1 or off = row-at-a-time; results
+                   identical at any width)
   SET cache off|partitions|results;                 statement caching:
                    'partitions' replays partition-selector OID sets for
                    repeat statements, 'results' additionally serves repeat
@@ -115,6 +118,8 @@ class ReplSession:
         self.max_rows: int | None = None
         #: segment-scheduler pool size (None = the Database default, serial)
         self.workers: int | None = None
+        #: vectorized batch width (None = the Database default)
+        self.batch_size: int | None = None
         #: cache mode for every query (None = the Database default)
         self.cache: str | None = None
         self._buffer: list[str] = []
@@ -389,6 +394,7 @@ class ReplSession:
                         timeout=self.timeout_seconds,
                         max_rows=self.max_rows,
                         workers=self.workers,
+                        batch_size=self.batch_size,
                         cache=self.cache,
                     )
                 if explain.group(2) or explain.group(3):
@@ -412,6 +418,7 @@ class ReplSession:
                     timeout=self.timeout_seconds,
                     max_rows=self.max_rows,
                     workers=self.workers,
+                    batch_size=self.batch_size,
                     cache=self.cache,
                 )
             else:
@@ -421,6 +428,7 @@ class ReplSession:
                     timeout=self.timeout_seconds,
                     max_rows=self.max_rows,
                     workers=self.workers,
+                    batch_size=self.batch_size,
                     cache=self.cache,
                 )
         except ReproError as exc:
@@ -486,6 +494,18 @@ class ReplSession:
                 return "ERROR (sql): workers must be >= 1"
             self.workers = value
             return f"workers is {value}"
+        if name == "batch_size":
+            if argument.lower() in ("off", "none", "default", ""):
+                self.batch_size = None
+                return "batch_size follows the database default"
+            try:
+                value = int(argument)
+            except ValueError:
+                return f"ERROR (sql): invalid batch_size {argument!r}"
+            if value < 1:
+                return "ERROR (sql): batch_size must be >= 1"
+            self.batch_size = value
+            return f"batch_size is {value}"
         if name == "cache":
             from .cache import CACHE_MODES
 

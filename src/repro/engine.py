@@ -63,6 +63,7 @@ class Database:
         num_segments: int = 4,
         cost_model: CostModel | None = None,
         workers: int = 1,
+        batch_size: int = 1024,
         cache: str | CacheConfig | CacheManager | None = None,
         data_dir: str | None = None,
         wal_sync: str = "sync",
@@ -75,6 +76,9 @@ class Database:
         #: default segment-scheduler pool size (1 = serial execution);
         #: per-query override via ``sql(..., workers=N)``
         self.workers = workers
+        #: default vectorized batch width (1 = the exact row-at-a-time
+        #: pipeline); per-query override via ``sql(..., batch_size=N)``
+        self.batch_size = batch_size
         self.catalog = Catalog()
         self.storage = StorageManager(self.catalog, num_segments)
         #: the instance's :class:`~repro.cache.CacheManager`.  ``cache``
@@ -134,6 +138,7 @@ class Database:
             faults=self.faults,
             retry_policy=self.retry_policy,
             workers=workers,
+            batch_size=batch_size,
         )
         #: the instance's :class:`~repro.serving.QueryServer`, created
         #: lazily by :meth:`serve` / :meth:`session`
@@ -395,6 +400,7 @@ class Database:
         trace: bool = False,
         lower_selectors: bool = False,
         workers: int | None = None,
+        batch_size: int | None = None,
         cache: str | None = None,
         faults=None,
         scheduler=None,
@@ -434,6 +440,12 @@ class Database:
         ``workers > 1`` each slice's per-segment instances run
         concurrently on a thread pool; results are guaranteed identical
         to a serial run (see docs/parallelism.md).
+
+        ``batch_size`` sets the vectorized batch width for this query
+        (``None`` uses the Database default, normally 1024; ``1`` runs
+        the exact row-at-a-time pipeline).  Results, partition counters
+        and guardrail firing rows are identical at any batch size (see
+        docs/parallelism.md, "Vectorized batch execution").
 
         ``analyze=True`` enables per-node wall-clock timing collection on
         top of the always-on row/partition/motion counters; the result's
@@ -507,6 +519,7 @@ class Database:
                         faults=faults,
                         scheduler=scheduler,
                         activity=activity,
+                        batch_size=batch_size,
                         **options,
                     )
         except BaseException as error:
@@ -590,6 +603,7 @@ class Database:
         faults=None,
         scheduler=None,
         activity=None,
+        batch_size: int | None = None,
         **options,
     ) -> ExecutionResult:
         with obs_trace.span("parse"):
@@ -626,6 +640,7 @@ class Database:
                         faults=faults,
                         scheduler=scheduler,
                         activity=activity,
+                        batch_size=batch_size,
                     )
                 count = self.insert(target.name, selected.rows)
                 return ExecutionResult(
@@ -660,6 +675,7 @@ class Database:
                 faults=faults,
                 scheduler=scheduler,
                 activity=activity,
+                batch_size=batch_size,
             )
         if session is not None and session.results_active:
             # Commit the result set with its invalidation footprint: the
@@ -696,7 +712,13 @@ class Database:
         analyze: bool = False,
         limits: QueryLimits | None = None,
         workers: int | None = None,
+        batch_size: int | None = None,
     ) -> ExecutionResult:
         return self.executor.execute(
-            plan, params, analyze=analyze, limits=limits, workers=workers
+            plan,
+            params,
+            analyze=analyze,
+            limits=limits,
+            workers=workers,
+            batch_size=batch_size,
         )

@@ -59,6 +59,7 @@ class ExecContext:
         workers: int = 1,
         motion_queue_capacity: int | None = None,
         cache=None,
+        batch_size: int = 1,
     ):
         self.catalog = catalog
         self.storage = storage
@@ -81,6 +82,9 @@ class ExecContext:
         #: the statement's :class:`~repro.cache.CacheSession` (None = cache
         #: off): PartitionSelector iterators ask it for replay OID sets
         self.cache = cache
+        #: vectorized batch width for this run (1 = row-at-a-time; the
+        #: executor runs the batch pipeline iff > 1)
+        self.batch_size = batch_size
 
     @property
     def tracker(self) -> ScanTracker:

@@ -59,7 +59,7 @@ from ..resilience.guardrails import QueryLimits, RetryPolicy
 from ..storage import StorageManager
 from ..storage.distribution import segment_for, stable_hash
 from .context import COORDINATOR_SEGMENT, ExecContext
-from .iterators import build_iterator
+from .iterators import build_batches, build_iterator
 from .queues import MotionBuffer
 from .scheduler import SegmentScheduler
 
@@ -122,7 +122,10 @@ class MppExecutor:
         faults: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         workers: int = 1,
+        batch_size: int = 1024,
     ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.catalog = catalog
         self.storage = storage
         self.num_segments = num_segments
@@ -133,6 +136,9 @@ class MppExecutor:
         #: default segment-scheduler pool size (1 = serial); per-query
         #: override via ``execute(..., workers=N)``
         self.workers = workers
+        #: default vectorized batch width (1 = row-at-a-time); per-query
+        #: override via ``execute(..., batch_size=N)``
+        self.batch_size = batch_size
 
     def execute(
         self,
@@ -145,6 +151,7 @@ class MppExecutor:
         faults: FaultInjector | None = None,
         scheduler: SegmentScheduler | None = None,
         activity=None,
+        batch_size: int | None = None,
     ) -> ExecutionResult:
         """Run the plan; ``analyze=True`` additionally collects per-node
         wall-clock timings (row and partition counters are always on).
@@ -163,14 +170,20 @@ class MppExecutor:
         :class:`~repro.obs.live.QueryActivity` record (None = not
         registered): the executor attaches the collector to it once, so
         activity snapshots can read rows/partitions-so-far — a pull
-        model, with zero per-row writes."""
+        model, with zero per-row writes.  ``batch_size`` overrides the
+        executor's default vectorized batch width for this query (1 =
+        the exact row-at-a-time pipeline)."""
         plan.validate()
         resolved_workers = self.workers if workers is None else workers
         if resolved_workers < 1:
             raise ValueError("workers must be >= 1")
+        resolved_batch = self.batch_size if batch_size is None else batch_size
+        if resolved_batch < 1:
+            raise ValueError("batch_size must be >= 1")
         metrics = MetricsCollector(self.num_segments, timing=analyze)
         metrics.register_plan(plan)
         metrics.record_workers(resolved_workers)
+        metrics.record_batch_size(resolved_batch)
         if activity is not None:
             activity.attach_metrics(metrics)
             activity.workers = resolved_workers
@@ -187,6 +200,7 @@ class MppExecutor:
             limits=limits,
             workers=resolved_workers,
             cache=cache,
+            batch_size=resolved_batch,
         )
         owns_scheduler = scheduler is None
         if scheduler is None:
@@ -270,6 +284,11 @@ class MppExecutor:
                 faults = view.faults if view.faults.active else None
                 if faults is not None:
                     faults.maybe_fire(SLICE_START, segment)
+                if view.batch_size > 1:
+                    rows: list[tuple] = []
+                    for batch in build_batches(root, segment, view):
+                        rows.extend(batch)
+                    return rows
                 return list(build_iterator(root, segment, view))
 
             return lambda: self._run_instance_with_retry(
@@ -418,6 +437,11 @@ class MppExecutor:
         charge = view.limits.charge_rows if view.limits.active else None
         if faults is not None:
             faults.maybe_fire(SLICE_START, segment)
+        if view.batch_size > 1:
+            self._send_segment_batches(
+                motion, view, segment, buffer, hash_fns, faults
+            )
+            return
         for row in build_iterator(child, segment, view):
             if faults is not None:
                 faults.maybe_fire(MOTION_SEND, segment)
@@ -445,6 +469,59 @@ class MppExecutor:
                 record(motion, "redistribute", target, row)
                 if charge is not None:
                     charge(1)
+
+    def _send_segment_batches(
+        self,
+        motion: phys.Motion,
+        view: ExecContext,
+        segment: int,
+        buffer: MotionBuffer,
+        hash_fns,
+        faults,
+    ) -> None:
+        """Batch-mode producer instance: whole batches go into the receive
+        queues in one lock acquisition, with the ``motion_send`` fault
+        point and the buffered-row charges at per-batch granularity
+        (charges replicate the row path's crossing row exactly)."""
+        child = motion.children[0]
+        record = view.metrics.record_motion_batch
+        limits = view.limits if view.limits.active else None
+        gather = isinstance(motion, phys.GatherMotion)
+        broadcast = isinstance(motion, phys.BroadcastMotion)
+        for batch in build_batches(child, segment, view):
+            if faults is not None:
+                faults.maybe_fire(MOTION_SEND, segment)
+            if gather:
+                buffer.send_batch(COORDINATOR_SEGMENT, batch, segment)
+                record(motion, "gather", COORDINATOR_SEGMENT, batch)
+                if limits is not None:
+                    limits.charge_rows_batch(len(batch))
+            elif broadcast:
+                for target in range(self.num_segments):
+                    buffer.send_batch(target, batch, segment)
+                    record(motion, "broadcast", target, batch)
+                if limits is not None:
+                    limits.charge_rows_batch(
+                        len(batch), per_row=self.num_segments
+                    )
+            else:
+                by_target: dict[int, list[tuple]] = {}
+                for row in batch:
+                    values = tuple(fn(row) for fn in hash_fns)
+                    if len(values) == 1:
+                        target = segment_for(values[0], self.num_segments)
+                    else:
+                        target = (
+                            sum(stable_hash(v) for v in values)
+                            % self.num_segments
+                        )
+                    by_target.setdefault(target, []).append(row)
+                for target in sorted(by_target):
+                    rows = by_target[target]
+                    buffer.send_batch(target, rows, segment)
+                    record(motion, "redistribute", target, rows)
+                if limits is not None:
+                    limits.charge_rows_batch(len(batch))
 
     def _run_motion(self, motion: phys.Motion, ctx: ExecContext) -> None:
         """Serial compat path: run every producer instance inline and seal

@@ -39,11 +39,18 @@ from .context import COORDINATOR_SEGMENT, ExecContext
 from .runtime_funcs import partition_expansion, partition_propagation
 
 RowIter = Iterator[tuple]
+#: batch-mode iterator: yields lists of row tuples
+BatchIter = Iterator[list]
 
 #: extension point: operator type -> iterator factory(op, segment, ctx).
 #: Used by :mod:`repro.executor.lowering` to register the Section 3.2
 #: function-based operators without creating an import cycle.
 EXTRA_ITERATORS: dict[type, Callable[..., RowIter]] = {}
+
+#: batch-mode extension point, same contract but the factory yields row
+#: batches.  An operator registered only in :data:`EXTRA_ITERATORS` still
+#: works in batch mode — its row iterator is re-batched.
+EXTRA_BATCH_ITERATORS: dict[type, Callable[..., BatchIter]] = {}
 
 
 def build_iterator(
@@ -806,3 +813,488 @@ def _delete_iter(op: phys.Delete, segment: int, ctx: ExecContext) -> RowIter:
     for (seg, oid), rows in deletions.items():
         store.delete_from_leaf(seg, oid, rows)
     yield (len(victims),)
+
+
+# ---------------------------------------------------------------------------
+# Batch-mode (vectorized) execution
+# ---------------------------------------------------------------------------
+#
+# The batch pipeline is the same Volcano tree pulling lists of tuples
+# instead of single tuples: scans slice batches straight out of the heap
+# lists, and filters / projections / joins / aggregation loop tightly over
+# one batch per Python frame.  Accounting stays exact: metrics charge
+# ``len(batch)`` per node, guardrail ticks advance by ``len(batch)``,
+# ``max_rows`` charges replicate the row path's charge-by-charge crossing,
+# and Limit truncates the final batch so downstream operators see the
+# same rows as row-at-a-time execution.  Fault-injection ``scan_row`` /
+# ``motion_send`` points fire once per batch.
+#
+# The one place batch counters can legally diverge from row counters is a
+# LIMIT that abandons its child mid-stream: the child has already produced
+# its current batch (up to batch_size - 1 extra rows show in that child's
+# ``rows_out`` / ``rows_scanned``).  Result rows are identical.
+
+
+def build_batches(
+    op: phys.PhysicalOp, segment: int, ctx: ExecContext
+) -> BatchIter:
+    """Batch-mode counterpart of :func:`build_iterator`: the iterator
+    tree for ``op`` on one segment, yielding row batches of (at most)
+    ``ctx.batch_size`` rows."""
+    inner = ctx.metrics.instrument_batches(
+        op, segment, _raw_batches(op, segment, ctx)
+    )
+    if ctx.limits.active:
+        return _guarded_batches(ctx.limits, inner)
+    return inner
+
+
+def _guarded_batches(limits, inner: BatchIter) -> BatchIter:
+    tick_rows = limits.tick_rows
+    for batch in inner:
+        tick_rows(len(batch))
+        yield batch
+
+
+def _raw_batches(
+    op: phys.PhysicalOp, segment: int, ctx: ExecContext
+) -> BatchIter:
+    factory = EXTRA_BATCH_ITERATORS.get(type(op))
+    if factory is not None:
+        return factory(op, segment, ctx)
+    if type(op) in EXTRA_ITERATORS:
+        return _rebatch(
+            EXTRA_ITERATORS[type(op)](op, segment, ctx), ctx.batch_size
+        )
+    if isinstance(op, phys.Motion):
+        return _slice_batches(
+            ctx.motion_rows(id(op), segment), ctx.batch_size
+        )
+    if isinstance(op, phys.Scan):
+        return _scan_batches(op, segment, ctx)
+    if isinstance(op, phys.EmptyScan):
+        return iter(())
+    if isinstance(op, phys.LeafScan):
+        return _leaf_scan_batches(op, segment, ctx)
+    if isinstance(op, phys.DynamicScan):
+        return _dynamic_scan_batches(op, segment, ctx)
+    if isinstance(op, phys.PartitionSelector):
+        return _partition_selector_batches(op, segment, ctx)
+    if isinstance(op, phys.Sequence):
+        return _sequence_batches(op, segment, ctx)
+    if isinstance(op, phys.Filter):
+        return _filter_batches(op, segment, ctx)
+    if isinstance(op, phys.Project):
+        return _project_batches(op, segment, ctx)
+    if isinstance(op, phys.HashJoin):
+        return _hash_join_batches(op, segment, ctx)
+    if isinstance(op, phys.HashAgg):
+        return _hash_agg_batches(op, segment, ctx)
+    if isinstance(op, phys.Sort):
+        return _sort_batches(op, segment, ctx)
+    if isinstance(op, phys.Limit):
+        return _limit_batches(op, segment, ctx)
+    if isinstance(op, phys.Append):
+        return _append_batches(op, segment, ctx)
+    # NLJoin, Update, Delete and anything unknown keep their row-at-a-time
+    # implementation (they materialize or mutate — batching buys nothing);
+    # re-batching preserves their exact counter behaviour.
+    return _rebatch(_raw_iterator(op, segment, ctx), ctx.batch_size)
+
+
+def _slice_batches(rows: list, batch_size: int) -> BatchIter:
+    """Batches sliced out of an already-materialized row list."""
+    for start in range(0, len(rows), batch_size):
+        yield rows[start : start + batch_size]
+
+
+def _rebatch(inner: RowIter, batch_size: int) -> BatchIter:
+    """Accumulate a row iterator into batches (compat shim for operators
+    without a native batch implementation)."""
+    batch: list = []
+    append = batch.append
+    for row in inner:
+        append(row)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
+
+
+def _scan_batches(op: phys.Scan, segment: int, ctx: ExecContext) -> BatchIter:
+    faults = ctx.faults if ctx.faults.active else None
+    count = 0
+    for batch in ctx.storage.scan_table_batches(
+        segment, op.table.oid, batch_size=ctx.batch_size
+    ):
+        if faults is not None:
+            faults.maybe_fire(SCAN_ROW, segment)
+        count += len(batch)
+        yield batch
+    ctx.metrics.record_scan_rows(op, op.table, segment, count)
+
+
+def _leaf_scan_batches(
+    op: phys.LeafScan, segment: int, ctx: ExecContext
+) -> BatchIter:
+    if op.guard_scan_id is not None:
+        selected = ctx.channel(op.guard_scan_id, segment).peek()
+        if op.leaf_oid not in selected:
+            return
+    ctx.metrics.record_leaf(op, op.table, op.leaf_oid, segment)
+    faults = ctx.faults if ctx.faults.active else None
+    count = 0
+    for batch in ctx.storage.scan_table_batches(
+        segment, op.table.oid, [op.leaf_oid], ctx.batch_size
+    ):
+        if faults is not None:
+            faults.maybe_fire(SCAN_ROW, segment)
+        count += len(batch)
+        yield batch
+    ctx.metrics.record_scan_rows(op, op.table, segment, count)
+
+
+def _dynamic_scan_batches(
+    op: phys.DynamicScan, segment: int, ctx: ExecContext
+) -> BatchIter:
+    ctx.metrics.node(op).part_scan_id = op.part_scan_id
+    oids = ctx.channel(op.part_scan_id, segment).consume()
+    faults = ctx.faults if ctx.faults.active else None
+    for oid in oids:
+        ctx.metrics.record_leaf(op, op.table, oid, segment)
+        count = 0
+        for batch in ctx.storage.scan_table_batches(
+            segment, op.table.oid, [oid], ctx.batch_size
+        ):
+            if faults is not None:
+                faults.maybe_fire(SCAN_ROW, segment)
+            count += len(batch)
+            yield batch
+        ctx.metrics.record_scan_rows(op, op.table, segment, count)
+
+
+def _partition_selector_batches(
+    op: phys.PartitionSelector, segment: int, ctx: ExecContext
+) -> BatchIter:
+    spec = op.spec
+    channel = ctx.channel(spec.part_scan_id, segment)
+    child = op.children[0] if op.children else None
+
+    cache = ctx.cache
+    if cache is not None:
+        cached = cache.cached_oids(spec.part_scan_id, segment)
+        if cached is not None:
+            ctx.metrics.node(op).part_scan_id = spec.part_scan_id
+            ctx.metrics.record_selector(
+                spec.part_scan_id, "cached", spec.table.num_leaves
+            )
+            for oid in cached:
+                partition_propagation(ctx, spec.part_scan_id, segment, oid)
+            if ctx.faults.active:
+                ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
+            channel.close()
+            if child is not None:
+                yield from build_batches(child, segment, ctx)
+            return
+
+    child_layout = child.output_layout() if child is not None else None
+    program = _SelectorProgram(spec, child_layout, ctx.params)
+    ctx.metrics.node(op).part_scan_id = spec.part_scan_id
+    ctx.metrics.record_selector(
+        spec.part_scan_id,
+        "dynamic" if program.has_streaming else "static",
+        spec.table.num_leaves,
+    )
+
+    if not program.has_streaming:
+        if spec.has_predicates:
+            oids = program.constant_oids()
+        else:
+            oids = partition_expansion(ctx.catalog, spec.table.oid)
+        for oid in oids:
+            partition_propagation(ctx, spec.part_scan_id, segment, oid)
+        if ctx.faults.active:
+            ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
+        channel.close()
+        if child is not None:
+            yield from build_batches(child, segment, ctx)
+        return
+
+    if child is None:
+        raise ExecutionError(
+            "streaming PartitionSelector requires an input (join predicate "
+            "over no tuples)"
+        )
+    oids_for_row = program.oids_for_row
+    for batch in build_batches(child, segment, ctx):
+        for row in batch:
+            for oid in oids_for_row(row):
+                partition_propagation(ctx, spec.part_scan_id, segment, oid)
+        yield batch
+    if ctx.faults.active:
+        ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
+    channel.close()
+
+
+def _sequence_batches(
+    op: phys.Sequence, segment: int, ctx: ExecContext
+) -> BatchIter:
+    for child in op.children[:-1]:
+        for _ in build_batches(child, segment, ctx):
+            pass
+    yield from build_batches(op.children[-1], segment, ctx)
+
+
+def _filter_batches(
+    op: phys.Filter, segment: int, ctx: ExecContext
+) -> BatchIter:
+    layout = op.children[0].output_layout()
+    predicate = compile_predicate(op.predicate, layout, ctx.params)
+    for batch in build_batches(op.children[0], segment, ctx):
+        out = [row for row in batch if predicate(row)]
+        if out:
+            yield out
+
+
+def _project_batches(
+    op: phys.Project, segment: int, ctx: ExecContext
+) -> BatchIter:
+    layout = op.children[0].output_layout()
+    funcs = [
+        compile_expression(expr, layout, ctx.params) for expr, _ in op.items
+    ]
+    for batch in build_batches(op.children[0], segment, ctx):
+        if not funcs:
+            yield [() for _ in batch]
+            continue
+        # column-at-a-time: one tight list comprehension per expression,
+        # then a C-level zip back into row tuples
+        yield list(zip(*[[func(row) for row in batch] for func in funcs]))
+
+
+def _hash_join_batches(
+    op: phys.HashJoin, segment: int, ctx: ExecContext
+) -> BatchIter:
+    build_layout = op.build.output_layout()
+    probe_layout = op.probe.output_layout()
+    build_fns = [
+        compile_expression(k, build_layout, ctx.params) for k in op.build_keys
+    ]
+    probe_fns = [
+        compile_expression(k, probe_layout, ctx.params) for k in op.probe_keys
+    ]
+    residual = None
+    if op.residual is not None:
+        residual = compile_predicate(
+            op.residual, build_layout.concat(probe_layout), ctx.params
+        )
+
+    limits = ctx.limits if ctx.limits.active else None
+    single_key = len(build_fns) == 1 and len(probe_fns) == 1
+    table: dict = {}
+    if single_key:
+        # scalar keys: no per-row tuple allocation, no NULL-scan genexpr
+        build_fn = build_fns[0]
+        for batch in build_batches(op.build, segment, ctx):
+            added = 0
+            for row in batch:
+                key = build_fn(row)
+                if key is None:
+                    continue  # NULL keys never join
+                table.setdefault(key, []).append(row)
+                added += 1
+            if limits is not None and added:
+                limits.charge_rows_batch(added)
+    else:
+        for batch in build_batches(op.build, segment, ctx):
+            added = 0
+            for row in batch:
+                key = tuple(fn(row) for fn in build_fns)
+                if any(v is None for v in key):
+                    continue  # NULL keys never join
+                table.setdefault(key, []).append(row)
+                added += 1
+            if limits is not None and added:
+                limits.charge_rows_batch(added)  # build side is materialized
+
+    semi = op.kind == "semi"
+    batch_size = ctx.batch_size
+    probe_fn = probe_fns[0] if single_key else None
+    out: list[tuple] = []
+    for probe_batch in build_batches(op.probe, segment, ctx):
+        for probe_row in probe_batch:
+            if single_key:
+                key = probe_fn(probe_row)
+                if key is None:
+                    continue
+            else:
+                key = tuple(fn(probe_row) for fn in probe_fns)
+                if any(v is None for v in key):
+                    continue
+            matches = table.get(key)
+            if not matches:
+                continue
+            if semi:
+                if residual is None:
+                    out.append(probe_row)
+                else:
+                    for build_row in matches:
+                        if residual(build_row + probe_row):
+                            out.append(probe_row)
+                            break
+            else:
+                for build_row in matches:
+                    combined = build_row + probe_row
+                    if residual is None or residual(combined):
+                        out.append(combined)
+        if len(out) >= batch_size:
+            yield out
+            out = []
+    if out:
+        yield out
+
+
+def _hash_agg_batches(
+    op: phys.HashAgg, segment: int, ctx: ExecContext
+) -> BatchIter:
+    layout = op.children[0].output_layout()
+    key_fns = [
+        compile_expression(key, layout, ctx.params) for key in op.group_keys
+    ]
+    limits = ctx.limits if ctx.limits.active else None
+    if op.mode == "final":
+        key_count = len(op.group_keys)
+        groups: dict[tuple, list[_Accumulator]] = {}
+        for batch in build_batches(op.children[0], segment, ctx):
+            new_groups = 0
+            for row in batch:
+                key = row[:key_count]
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [
+                        _Accumulator(agg.func) for agg, _ in op.aggregates
+                    ]
+                    groups[key] = accumulators
+                    new_groups += 1
+                for accumulator, state in zip(accumulators, row[key_count:]):
+                    accumulator.combine(state)
+            if limits is not None and new_groups:
+                limits.charge_rows_batch(new_groups)
+        if not groups and not op.group_keys:
+            if segment == COORDINATOR_SEGMENT:
+                yield [
+                    tuple(
+                        _Accumulator(agg.func).result()
+                        for agg, _ in op.aggregates
+                    )
+                ]
+            return
+        yield from _slice_batches(
+            [
+                key + tuple(acc.result() for acc in accumulators)
+                for key, accumulators in groups.items()
+            ],
+            ctx.batch_size,
+        )
+        return
+
+    agg_arg_fns: list[Callable[[tuple], Any]] = []
+    for agg, _name in op.aggregates:
+        if agg.arg is None:
+            agg_arg_fns.append(lambda row: 1)  # COUNT(*)
+        else:
+            agg_arg_fns.append(
+                compile_expression(agg.arg, layout, ctx.params)
+            )
+
+    groups = {}
+    for batch in build_batches(op.children[0], segment, ctx):
+        new_groups = 0
+        for row in batch:
+            key = tuple(fn(row) for fn in key_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    _Accumulator(agg.func) for agg, _ in op.aggregates
+                ]
+                groups[key] = accumulators
+                new_groups += 1
+            for accumulator, arg_fn in zip(accumulators, agg_arg_fns):
+                accumulator.add(arg_fn(row))
+        if limits is not None and new_groups:
+            limits.charge_rows_batch(new_groups)
+
+    if op.mode == "partial":
+        if not groups and not op.group_keys:
+            yield [
+                tuple(
+                    _Accumulator(agg.func).transition()
+                    for agg, _ in op.aggregates
+                )
+            ]
+            return
+        yield from _slice_batches(
+            [
+                key + tuple(acc.transition() for acc in accumulators)
+                for key, accumulators in groups.items()
+            ],
+            ctx.batch_size,
+        )
+        return
+
+    if not groups and not op.group_keys:
+        if segment == COORDINATOR_SEGMENT:
+            yield [
+                tuple(
+                    _Accumulator(agg.func).result()
+                    for agg, _ in op.aggregates
+                )
+            ]
+        return
+    yield from _slice_batches(
+        [
+            key + tuple(acc.result() for acc in accumulators)
+            for key, accumulators in groups.items()
+        ],
+        ctx.batch_size,
+    )
+
+
+def _sort_batches(op: phys.Sort, segment: int, ctx: ExecContext) -> BatchIter:
+    layout = op.children[0].output_layout()
+    key_fns = [
+        compile_expression(expr, layout, ctx.params) for expr, _ in op.keys
+    ]
+    ascending = [asc for _, asc in op.keys]
+    wrapper = _sort_key(ascending)
+    rows: list[tuple] = []
+    for batch in build_batches(op.children[0], segment, ctx):
+        rows.extend(batch)
+    # one gulp charge, exactly like the row path's _sort_iter
+    if ctx.limits.active:
+        ctx.limits.charge_rows(len(rows))
+    rows.sort(key=lambda row: wrapper([fn(row) for fn in key_fns]))
+    yield from _slice_batches(rows, ctx.batch_size)
+
+
+def _limit_batches(op: phys.Limit, segment: int, ctx: ExecContext) -> BatchIter:
+    remaining = op.count
+    if remaining <= 0:
+        return
+    for batch in build_batches(op.children[0], segment, ctx):
+        if len(batch) >= remaining:
+            # split the final batch: downstream sees exactly the same rows
+            # as row-at-a-time execution
+            yield batch[:remaining]
+            return
+        remaining -= len(batch)
+        yield batch
+
+
+def _append_batches(
+    op: phys.Append, segment: int, ctx: ExecContext
+) -> BatchIter:
+    for child in op.children:
+        yield from build_batches(child, segment, ctx)

@@ -51,7 +51,13 @@ from ..physical.ops import PartitionSelector, PhysicalOp, Sequence
 from ..physical.plan import Plan
 from ..resilience.faults import CHANNEL_CLOSE
 from .context import ExecContext
-from .iterators import EXTRA_ITERATORS, build_iterator
+from .iterators import (
+    EXTRA_BATCH_ITERATORS,
+    EXTRA_ITERATORS,
+    _rebatch,
+    build_batches,
+    build_iterator,
+)
 from .runtime_funcs import (
     partition_constraints,
     partition_propagation,
@@ -191,8 +197,57 @@ def _propagating_project_iter(op: PropagatingProject, segment: int, ctx: ExecCon
     channel.close()
 
 
+def _constraints_scan_batches(
+    op: ConstraintsFunctionScan, segment: int, ctx: ExecContext
+):
+    # one row per leaf partition — small enough that re-batching the row
+    # iterator is the whole implementation
+    return _rebatch(
+        _constraints_scan_iter(op, segment, ctx), ctx.batch_size
+    )
+
+
+def _propagating_project_batches(
+    op: PropagatingProject, segment: int, ctx: ExecContext
+):
+    child = op.children[0]
+    scan_id = op.produces_part_scan_id
+    channel = ctx.channel(scan_id, segment)
+    ctx.metrics.node(op).part_scan_id = scan_id
+    ctx.metrics.record_selector(
+        scan_id,
+        "static" if op.mode == "oids" else "dynamic",
+        op.table.num_leaves,
+    )
+    if op.mode == "oids":
+        layout = child.output_layout()
+        oid_index = layout.resolve(ColumnRef(OID_COLUMN))
+        for batch in build_batches(child, segment, ctx):
+            for row in batch:
+                partition_propagation(ctx, scan_id, segment, row[oid_index])
+            yield batch
+        if ctx.faults.active:
+            ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
+        channel.close()
+        return
+    key_fn = compile_expression(
+        op.key_expr, child.output_layout(), ctx.params
+    )
+    for batch in build_batches(child, segment, ctx):
+        for row in batch:
+            oid = partition_selection(ctx.catalog, op.table.oid, key_fn(row))
+            if oid is not None:
+                partition_propagation(ctx, scan_id, segment, oid)
+        yield batch
+    if ctx.faults.active:
+        ctx.faults.maybe_fire(CHANNEL_CLOSE, segment)
+    channel.close()
+
+
 EXTRA_ITERATORS[ConstraintsFunctionScan] = _constraints_scan_iter
 EXTRA_ITERATORS[PropagatingProject] = _propagating_project_iter
+EXTRA_BATCH_ITERATORS[ConstraintsFunctionScan] = _constraints_scan_batches
+EXTRA_BATCH_ITERATORS[PropagatingProject] = _propagating_project_batches
 
 
 # ---------------------------------------------------------------------------

@@ -109,6 +109,27 @@ class TupleQueue:
             self._size += 1
             self._not_empty.notify()
 
+    def put_batch(self, rows: list[tuple], producer: int = 0) -> None:
+        """Push a batch of rows from ``producer``'s run in one lock
+        acquisition — the Motion-amortization fast path.
+
+        Bounded queues fall back to per-row :meth:`put` so backpressure
+        (and the full-with-no-consumer :class:`ChannelError`) fires on
+        exactly the same row as the row-at-a-time path.
+        """
+        if not rows:
+            return
+        if self.capacity is not None:
+            for row in rows:
+                self.put(row, producer)
+            return
+        with self._lock:
+            if self._closed:
+                raise ChannelError("put to closed motion queue")
+            self._runs.setdefault(producer, []).extend(rows)
+            self._size += len(rows)
+            self._not_empty.notify()
+
     def close(self) -> None:
         """Seal the queue.  Closing twice raises — two producers racing to
         own the queue's lifecycle is a real coordination bug."""
@@ -219,6 +240,11 @@ class MotionBuffer:
 
     def send(self, target: int, row: tuple, producer: int) -> None:
         self._queues[target].put(row, producer)
+
+    def send_batch(
+        self, target: int, rows: list[tuple], producer: int
+    ) -> None:
+        self._queues[target].put_batch(rows, producer)
 
     def close(self) -> None:
         for queue in self._queues:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from itertools import chain
 from typing import Any, Iterator
 
 #: bump when the shape of :meth:`MetricsCollector.to_dict` changes
@@ -53,7 +54,10 @@ from typing import Any, Iterator
 #: size, restart-recovery and resync replay counters, and the live
 #: resyncing-segment list — see docs/durability.md; every v7 field is
 #: unchanged.
-METRICS_SCHEMA_VERSION = 8
+#: v9: the "parallel" section gains "batch_size" (the vectorized batch
+#: width the executor ran with; 1 = row-at-a-time) — see
+#: docs/parallelism.md; every v8 field is unchanged.
+METRICS_SCHEMA_VERSION = 9
 
 
 class ScanTracker:
@@ -235,6 +239,9 @@ class MetricsCollector:
         # parallel execution (schema v4)
         #: worker-pool size the query ran with (1 = serial)
         self.workers = 1
+        #: vectorized batch width the query ran with (schema v9;
+        #: 1 = row-at-a-time)
+        self.batch_size = 1
         #: one entry per (slice, segment) instance: wall seconds on its worker
         self.instances: list[dict] = []
         #: part_scan_id -> {"mode", "total", "selected" per-segment sets}
@@ -331,6 +338,16 @@ class MetricsCollector:
             return _timed_iter(node, segment, inner)
         return _counted_iter(node, segment, inner)
 
+    def instrument_batches(self, op, segment: int, inner):
+        """Batch counterpart of :meth:`instrument`: ``inner`` yields row
+        batches, and each batch charges ``len(batch)`` to ``rows_out`` in
+        one increment."""
+        node = self.node(op)
+        node.loops[segment] += 1
+        if self.timing:
+            return _timed_batch_iter(node, segment, inner)
+        return _counted_batch_iter(node, segment, inner)
+
     # -- scans --------------------------------------------------------------
 
     def record_leaf(self, op, table, leaf_oid: int, segment: int) -> None:
@@ -410,6 +427,16 @@ class MetricsCollector:
         node.rows_by_target[target_segment] += 1
         node.bytes_moved += _row_bytes(row)
 
+    def record_motion_batch(
+        self, op, kind: str, target_segment: int, rows: list
+    ) -> None:
+        """A batch of rows routed by a Motion to ``target_segment``; same
+        counters as ``len(rows)`` :meth:`record_motion` calls."""
+        node = self.node(op)
+        node.motion_kind = kind
+        node.rows_by_target[target_segment] += len(rows)
+        node.bytes_moved += _batch_bytes(rows)
+
     # -- slices -------------------------------------------------------------
 
     def record_slice(self, slice_id: int, label: str, seconds: float) -> None:
@@ -426,6 +453,11 @@ class MetricsCollector:
     def record_workers(self, workers: int) -> None:
         """The worker-pool size the query ran with (1 = serial)."""
         self.workers = workers
+
+    def record_batch_size(self, batch_size: int) -> None:
+        """The vectorized batch width the query ran with (1 = row-at-a-
+        time; schema v9)."""
+        self.batch_size = batch_size
 
     def record_instance(
         self, slice_id: int, segment: int, seconds: float
@@ -463,6 +495,7 @@ class MetricsCollector:
         return {
             "workers": self.workers,
             "mode": "parallel" if self.workers > 1 else "serial",
+            "batch_size": self.batch_size,
             "instances": instances,
             "instance_busy_seconds": busy,
             "overlap": overlap,
@@ -732,6 +765,16 @@ class WorkerMetrics:
         entry[2][target_segment] += 1
         entry[3] += _row_bytes(row)
 
+    def record_motion_batch(
+        self, op, kind: str, target_segment: int, rows: list
+    ) -> None:
+        entry = self._motions.get(id(op))
+        if entry is None:
+            entry = [op, kind, [0] * self._base.num_segments, 0]
+            self._motions[id(op)] = entry
+        entry[2][target_segment] += len(rows)
+        entry[3] += _batch_bytes(rows)
+
     # -- fold-back -----------------------------------------------------------
 
     def merge(self) -> None:
@@ -779,7 +822,37 @@ def _timed_iter(node: NodeMetrics, segment: int, inner):
         yield row
 
 
+def _counted_batch_iter(node: NodeMetrics, segment: int, inner):
+    rows_out = node.rows_out
+    for batch in inner:
+        rows_out[segment] += len(batch)
+        yield batch
+
+
+def _timed_batch_iter(node: NodeMetrics, segment: int, inner):
+    rows_out = node.rows_out
+    time_s = node.time_s
+    perf = time.perf_counter
+    while True:
+        start = perf()
+        try:
+            batch = next(inner)
+        except StopIteration:
+            time_s[segment] += perf() - start
+            return
+        time_s[segment] += perf() - start
+        rows_out[segment] += len(batch)
+        yield batch
+
+
 def _row_bytes(row: tuple) -> int:
     """Cheap serialized-size estimate of one tuple (repr length plus a
     fixed per-field framing overhead), the basis of bytes-moved counters."""
     return sum(len(repr(value)) for value in row) + 8 * len(row)
+
+
+def _batch_bytes(rows: list) -> int:
+    """Sum of :func:`_row_bytes` over a batch, flattened into two C-level
+    ``map`` passes — same totals, no per-row generator frames."""
+    flat = list(chain.from_iterable(rows))
+    return sum(map(len, map(repr, flat))) + 8 * len(flat)

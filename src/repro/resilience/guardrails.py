@@ -54,6 +54,17 @@ class CancelToken:
         if self._checks >= self.cancel_after_checks:
             self._cancelled = True
 
+    def _note_checks(self, count: int) -> None:
+        """Batch equivalent of ``count`` sequential :meth:`_note_check`
+        calls: the token cancels on the batch containing the threshold
+        checkpoint, so deterministic-cancel tests fire regardless of
+        batch size."""
+        if self.cancel_after_checks is None or self._cancelled:
+            return
+        self._checks += count
+        if self._checks >= self.cancel_after_checks:
+            self._cancelled = True
+
 
 class QueryLimits:
     """Guardrail state for one query execution."""
@@ -135,6 +146,29 @@ class QueryLimits:
                     f"query exceeded timeout of {self.timeout_seconds}s"
                 )
 
+    def tick_rows(self, count: int) -> None:
+        """Batch checkpoint: exactly what ``count`` sequential
+        :meth:`tick` calls would enforce, in O(1).  The cancel token is
+        advanced by ``count`` checkpoints, and the amortized deadline
+        read fires iff one of the covered ticks would have crossed a
+        ``check_interval`` boundary."""
+        if count <= 0:
+            return
+        token = self.cancel_token
+        if token is not None:
+            token._note_checks(count)
+            if token.cancelled:
+                raise QueryCancelled("query cancelled")
+        if self._deadline is None:
+            return
+        before = self._ticks
+        self._ticks = before + count
+        if before // self.check_interval != self._ticks // self.check_interval:
+            if time.monotonic() > self._deadline:
+                raise QueryTimeout(
+                    f"query exceeded timeout of {self.timeout_seconds}s"
+                )
+
     def charge_rows(self, count: int) -> None:
         """Account ``count`` rows buffered by a blocking operator (sort
         input, hash-join build side, motion receive buffers, ...)."""
@@ -142,6 +176,34 @@ class QueryLimits:
             return
         with self._charge_lock:
             self._buffered_rows += count
+        if self._buffered_rows > self.max_rows:
+            raise ResourceLimitExceeded(
+                f"query buffered {self._buffered_rows} rows in blocking "
+                f"operators, exceeding max_rows={self.max_rows}"
+            )
+
+    def charge_rows_batch(self, count: int, per_row: int = 1) -> None:
+        """Batch equivalent of ``count`` sequential
+        ``charge_rows(per_row)`` calls.
+
+        Row-at-a-time execution charges buffered rows one at a time and
+        stops at the first charge that crosses ``max_rows`` — the
+        remaining rows of the batch are never accounted.  To keep
+        ``buffered_rows`` (and the error message) identical at any batch
+        size, this charges only up to and including the first crossing
+        charge, then raises.
+        """
+        if self.max_rows is None or count <= 0:
+            return
+        with self._charge_lock:
+            total = count * per_row
+            if self._buffered_rows + total > self.max_rows:
+                headroom = self.max_rows - self._buffered_rows
+                full = max(0, headroom) // per_row
+                crossing = min(full + 1, count)
+                self._buffered_rows += crossing * per_row
+            else:
+                self._buffered_rows += total
         if self._buffered_rows > self.max_rows:
             raise ResourceLimitExceeded(
                 f"query buffered {self._buffered_rows} rows in blocking "

@@ -132,6 +132,7 @@ class QueryServer:
         max_rows: int | None = None,
         workers: int | None = None,
         cache: str | None = None,
+        batch_size: int | None = None,
         cancel: CancelToken | None = None,
         **options,
     ):
@@ -207,6 +208,11 @@ class QueryServer:
                             cancel=token,
                             workers=slot.effective_workers,
                             cache=cache if cache is not None else session.cache,
+                            batch_size=(
+                                batch_size
+                                if batch_size is not None
+                                else session.batch_size
+                            ),
                             faults=session.faults,
                             scheduler=segment_scheduler,
                             activity=activity,

@@ -43,13 +43,17 @@ class Session:
         cache: str | None = None,
         optimizer: str | None = None,
         fault_seed: int = 0,
+        batch_size: int | None = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.server = server
         self.session_id = session_id
         self.name = name if name else f"session-{session_id}"
         self.workers = workers
+        self.batch_size = batch_size
         self.timeout = timeout
         self.max_rows = max_rows
         self.cache = cache
@@ -124,6 +128,7 @@ class Session:
         return {
             "name": self.name,
             "workers": self.workers,
+            "batch_size": self.batch_size,
             "timeout": self.timeout,
             "max_rows": self.max_rows,
             "cache": self.cache,

@@ -164,6 +164,23 @@ class StorageManager:
             return self._delayed(inner)
         return inner
 
+    def scan_table_batches(
+        self,
+        segment: int,
+        root_oid: int,
+        oids: Sequence[int] | None = None,
+        batch_size: int = 1024,
+    ) -> Iterator[list[tuple]]:
+        """Batched variant of :meth:`scan_table`: row batches sliced
+        straight out of the heap lists.  The simulated I/O latency is
+        still one sleep per scan call, same as the row path."""
+        inner = self.store(root_oid).scan_segment_batches(
+            segment, oids, batch_size
+        )
+        if self.io_latency_s > 0:
+            return self._delayed(inner)
+        return inner
+
     def _delayed(self, inner: Iterator[tuple]) -> Iterator[tuple]:
         """Pay the simulated I/O latency lazily, on the consumer's first
         ``next()`` — i.e. on the worker thread that actually runs the

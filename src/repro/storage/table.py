@@ -267,6 +267,31 @@ class TableStore:
         for oid in keys:
             yield from buckets.get(oid, ())
 
+    def scan_segment_batches(
+        self,
+        segment: int,
+        oids: Sequence[int] | None = None,
+        batch_size: int = 1024,
+    ) -> Iterator[list[tuple]]:
+        """Like :meth:`scan_segment`, but yields row batches sliced
+        straight out of the heap lists — no per-row Python calls.
+
+        Batches never span leaf buckets, so a batch at a partition
+        boundary may be shorter than ``batch_size``; the concatenation of
+        all batches is exactly the :meth:`scan_segment` row order.
+        """
+        buckets = self._segment_buckets(segment)
+        if oids is None:
+            keys: Iterable[int] = sorted(buckets)
+        else:
+            keys = oids
+        for oid in keys:
+            bucket = buckets.get(oid)
+            if not bucket:
+                continue
+            for start in range(0, len(bucket), batch_size):
+                yield bucket[start : start + batch_size]
+
     def scan_all(self, oids: Sequence[int] | None = None) -> Iterator[tuple]:
         """Rows from every segment (for reference evaluation in tests).
 

@@ -166,7 +166,7 @@ def test_traced_join_optimizer_summary(orders_db):
 def test_traced_metrics_export_carries_trace_sections(orders_db):
     result = orders_db.sql(JOIN_SQL, trace=True)
     data = json.loads(result.metrics.to_json())
-    assert data["schema_version"] == 8
+    assert data["schema_version"] == 9
     # top-level phases (nested spans such as place_partition_selectors and
     # the slices live in the span list, under their parents)
     assert _is_subsequence(

@@ -84,7 +84,7 @@ def test_demo_single_primary_failure_is_transparent(fdb, workers):
 
     assert result.rows == baseline
     data = result.metrics.to_dict()
-    assert data["schema_version"] == 8
+    assert data["schema_version"] == 9
     resilience = data["resilience"]
     assert resilience["failover_count"] >= 1
     assert resilience["retry_count"] >= 1

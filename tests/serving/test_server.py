@@ -117,7 +117,7 @@ def test_grants_degrade_when_the_tier_fills(fresh_db):
 def test_serving_metrics_section_schema_v6(fresh_db):
     session = fresh_db.session(name="observer")
     exported = session.sql(COUNT).metrics.to_dict()
-    assert exported["schema_version"] == 8
+    assert exported["schema_version"] == 9
     serving = exported["serving"]
     assert serving["session"] == "observer"
     assert serving["requested_workers"] >= 1

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -58,6 +59,14 @@ COUNTER_GATES: dict[str, list[str]] = {
     # every interesting leaf is a wall clock (*_seconds) or scales with
     # the size matrix, so the whole file stays report-only via the
     # timing scan below
+    # batch-vs-row counters (result rows, partitions/rows scanned, motion
+    # traffic at each batch width) are deterministic and must agree
+    # between widths; the throughput wall clocks stay report-only
+    "fig23_batch_throughput.json": [
+        "counters",
+        "batch_sizes",
+        "fact_rows",
+    ],
 }
 
 #: substrings identifying wall-clock leaves (report-only)
@@ -87,6 +96,113 @@ def _timing_leaves(payload, prefix: str = "") -> dict[str, float]:
             if any(marker in name for marker in TIMING_MARKERS):
                 leaves[path] = float(value)
     return leaves
+
+
+def _numeric_leaves(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten every numeric leaf (dotted path -> value)."""
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        items = payload.items()
+    elif isinstance(payload, list):
+        items = ((f"[{i}]", v) for i, v in enumerate(payload))
+    else:
+        return leaves
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, (dict, list)):
+            leaves.update(_numeric_leaves(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            leaves[path] = float(value)
+    return leaves
+
+
+def _summary_rows(
+    baseline_dir: pathlib.Path, current_dir: pathlib.Path
+) -> list[dict]:
+    """Per-metric delta rows for the CI step summary: every gated counter
+    leaf and every wall-clock leaf shared by both result dirs."""
+    rows: list[dict] = []
+    for current_path in sorted(current_dir.glob("*.json")):
+        baseline_path = baseline_dir / current_path.name
+        if not baseline_path.exists():
+            continue
+        current = _numeric_leaves(_load(current_path))
+        baseline = _numeric_leaves(_load(baseline_path))
+        gated_keys = COUNTER_GATES.get(current_path.name, [])
+        for leaf, current_value in sorted(current.items()):
+            baseline_value = baseline.get(leaf)
+            if baseline_value is None:
+                continue
+            top = leaf.split(".", 1)[0]
+            last = leaf.rsplit(".", 1)[-1].lower()
+            if top in gated_keys:
+                kind = "gated"
+            elif any(marker in last for marker in TIMING_MARKERS):
+                kind = "report-only"
+            else:
+                continue
+            rows.append(
+                {
+                    "file": current_path.name,
+                    "metric": leaf,
+                    "kind": kind,
+                    "baseline": baseline_value,
+                    "current": current_value,
+                }
+            )
+    return rows
+
+
+def format_step_summary(
+    rows: list[dict], failures: list[str], warnings: list[str]
+) -> str:
+    """The markdown delta table appended to ``$GITHUB_STEP_SUMMARY``."""
+
+    def _num(value: float) -> str:
+        return f"{value:g}"
+
+    def _delta(baseline: float, current: float) -> str:
+        if current == baseline:
+            return "="
+        if baseline == 0:
+            return "n/a"
+        pct = (current / baseline - 1.0) * 100
+        return f"{pct:+.1f}%"
+
+    if failures:
+        verdict = f"**FAIL** — {len(failures)} counter regression(s)"
+    else:
+        verdict = "**OK**"
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"{verdict}, {len(warnings)} warning(s)",
+        "",
+    ]
+    if rows:
+        lines += [
+            "| file | metric | kind | baseline | current | delta |",
+            "| --- | --- | --- | ---: | ---: | ---: |",
+        ]
+        for row in rows:
+            lines.append(
+                f"| {row['file']} | `{row['metric']}` | {row['kind']} "
+                f"| {_num(row['baseline'])} | {_num(row['current'])} "
+                f"| {_delta(row['baseline'], row['current'])} |"
+            )
+    else:
+        lines.append("_no shared metrics to compare_")
+    return "\n".join(lines) + "\n"
+
+
+def _write_step_summary(
+    rows: list[dict], failures: list[str], warnings: list[str]
+) -> None:
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(format_step_summary(rows, failures, warnings))
 
 
 def compare(
@@ -143,6 +259,10 @@ def compare(
                     f"{slowdown_pct:.0f}% ({baseline_value:.4f} -> "
                     f"{current_value:.4f}) [report-only]"
                 )
+
+    _write_step_summary(
+        _summary_rows(baseline_dir, current_dir), failures, warnings
+    )
 
     for warning in warnings:
         print(f"WARN  {warning}")
